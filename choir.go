@@ -1,0 +1,230 @@
+// Package choir is the public API of this repository: a from-scratch Go
+// implementation of Choir (Eletreby, Zhang, Kumar, Yağan — "Empowering
+// Low-Power Wide Area Networks in Urban Settings", SIGCOMM 2017), a system
+// that decodes collisions of LoRa chirp-spread-spectrum transmissions at a
+// single-antenna base station by exploiting the natural hardware offsets of
+// low-cost LP-WAN clients, and that extends range by pooling teams of
+// co-located sensors transmitting correlated data.
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the collision decoder (Decoder, Decode, DecodeTeam) and its
+//     configuration;
+//   - the LoRa PHY substrate (PHYParams, Modem) used to build transmitters
+//     and baseline receivers;
+//   - the client hardware and channel models used to simulate deployments;
+//   - the experiment harness that regenerates every figure of the paper's
+//     evaluation (Fig7Offsets .. Fig12MUMIMO, ComputeHeadline).
+//
+// # Quick start
+//
+//	p := choir.DefaultPHY()
+//	dec, err := choir.NewDecoder(choir.DefaultDecoderConfig(p))
+//	...
+//	res, err := dec.Decode(iqSamples, payloadLen)
+//	for _, u := range res.Users {
+//	    fmt.Printf("user offset=%.2f bins payload=%x\n", u.Offset, u.Payload)
+//	}
+//
+// See examples/ for complete runnable programs and DESIGN.md for the system
+// inventory and the per-experiment index.
+package choir
+
+import (
+	"choir/internal/channel"
+	ichoir "choir/internal/choir"
+	"choir/internal/lora"
+	"choir/internal/mac"
+	"choir/internal/radio"
+	"choir/internal/sim"
+)
+
+// PHY layer (package internal/lora).
+type (
+	// PHYParams is one LoRa PHY configuration (spreading factor,
+	// bandwidth, code rate, preamble).
+	PHYParams = lora.Params
+	// SpreadingFactor is the LoRa spreading factor (SF7-SF12).
+	SpreadingFactor = lora.SpreadingFactor
+	// CodeRate is the LoRa FEC rate (4/5-4/8).
+	CodeRate = lora.CodeRate
+	// Modem modulates and demodulates single-user LoRa frames — the
+	// standard (non-Choir) transceiver.
+	Modem = lora.Modem
+)
+
+// Re-exported PHY constructors and constants.
+var (
+	// DefaultPHY returns the evaluation's PHY configuration (SF8, 125 kHz,
+	// 4/8 coding, 8-symbol preamble).
+	DefaultPHY = lora.DefaultParams
+	// NewModem builds a standard LoRa modem for a PHY configuration.
+	NewModem = lora.NewModem
+)
+
+// Spreading factors and code rates.
+const (
+	SF7  = lora.SF7
+	SF8  = lora.SF8
+	SF9  = lora.SF9
+	SF10 = lora.SF10
+	SF11 = lora.SF11
+	SF12 = lora.SF12
+
+	CR45 = lora.CR45
+	CR46 = lora.CR46
+	CR47 = lora.CR47
+	CR48 = lora.CR48
+)
+
+// Collision decoding (package internal/choir — the paper's contribution).
+type (
+	// Decoder disentangles LoRa collisions using hardware offsets.
+	Decoder = ichoir.Decoder
+	// DecoderConfig tunes the decoder (padding, SIC phases, fine search).
+	DecoderConfig = ichoir.Config
+	// DecodeResult is the outcome of decoding one collision.
+	DecodeResult = ichoir.Result
+	// DecodedUser is one transmitter separated from a collision.
+	DecodedUser = ichoir.User
+	// TeamResult is the outcome of decoding a below-noise team
+	// transmission (Sec. 7).
+	TeamResult = ichoir.TeamResult
+	// MultiSFDecoder disentangles collisions independently per spreading
+	// factor on one stream (Sec. 5.2, concluding note 4).
+	MultiSFDecoder = ichoir.MultiSFDecoder
+	// SFResult is one spreading factor's slice of a multi-SF collision.
+	SFResult = ichoir.SFResult
+	// OffsetSplit resolves a transmitter's aggregate offset into CFO and
+	// timing components using the down-chirp SFD (extension beyond the
+	// paper; requires PHYParams.SFDLen > 0).
+	OffsetSplit = ichoir.OffsetSplit
+)
+
+// Decoder constructors and sentinel errors.
+var (
+	// NewDecoder validates the configuration and builds a decoder.
+	NewDecoder = ichoir.New
+	// DefaultDecoderConfig returns the evaluation's decoder settings.
+	DefaultDecoderConfig = ichoir.DefaultConfig
+	// ErrNoUsers reports that no transmitter was detected in a signal.
+	ErrNoUsers = ichoir.ErrNoUsers
+	// ErrNotDetected reports that no team transmission was found.
+	ErrNotDetected = ichoir.ErrNotDetected
+	// ErrNoSFD reports that the PHY carries no down-chirp SFD.
+	ErrNoSFD = ichoir.ErrNoSFD
+	// NewMultiSFDecoder builds one Choir decoder per spreading factor.
+	NewMultiSFDecoder = ichoir.NewMultiSF
+	// AntennaDiversityGain is the selection-diversity success model used by
+	// the Fig. 12 sweep.
+	AntennaDiversityGain = ichoir.AntennaDiversityGain
+)
+
+// Hardware and channel models (packages internal/radio, internal/channel).
+type (
+	// Transmitter models one LP-WAN client radio with hardware offsets.
+	Transmitter = radio.Transmitter
+	// PopulationConfig controls the offset statistics of a board
+	// population.
+	PopulationConfig = radio.PopulationConfig
+	// PathLossModel is the log-distance urban propagation model.
+	PathLossModel = channel.PathLossModel
+	// Emission is one transmitter's contribution to the shared medium.
+	Emission = channel.Emission
+	// ChannelConfig is the receiver front-end model (noise floor, ADC).
+	ChannelConfig = channel.Config
+)
+
+// Model constructors.
+var (
+	// NewPopulation draws a population of client radios.
+	NewPopulation = radio.NewPopulation
+	// DefaultPopulation mirrors the paper's SX1276 board statistics.
+	DefaultPopulation = radio.DefaultPopulation
+	// Combine superimposes emissions plus noise and quantization.
+	Combine = channel.Combine
+	// UrbanPathLoss is the campus-calibrated propagation model.
+	UrbanPathLoss = sim.UrbanChannel
+)
+
+// MAC simulation (package internal/mac).
+type (
+	// MACConfig parameterizes a cell simulation.
+	MACConfig = mac.Config
+	// MACMetrics aggregates throughput/latency/retransmission results.
+	MACMetrics = mac.Metrics
+	// MACScheme selects ALOHA, Oracle TDMA, or Choir.
+	MACScheme = mac.Scheme
+	// NodeID identifies a client in a MAC simulation.
+	NodeID = mac.NodeID
+	// Receiver abstracts the PHY in the MAC simulation; implement it to
+	// plug in a custom decode model.
+	Receiver = mac.Receiver
+	// EnergyModel converts MAC activity into client battery drain.
+	EnergyModel = mac.EnergyModel
+	// EnergyReport summarizes per-node energy use and battery life.
+	EnergyReport = mac.EnergyReport
+)
+
+// MAC schemes and runner.
+var (
+	RunMAC = mac.Run
+	// DefaultEnergyModel returns SX1276-class power figures.
+	DefaultEnergyModel = mac.DefaultEnergyModel
+)
+
+// The three MAC schemes of the evaluation.
+const (
+	SchemeAloha  = mac.SchemeAloha
+	SchemeOracle = mac.SchemeOracle
+	SchemeChoir  = mac.SchemeChoir
+)
+
+// Experiments (package internal/sim): every figure of Sec. 9.
+type (
+	// Figure is a reproduced paper figure (series over an x axis).
+	Figure = sim.Figure
+	// Series is one line of a figure.
+	Series = sim.Series
+	// Scenario renders synthetic collisions at IQ level.
+	Scenario = sim.Scenario
+	// ExperimentConfig parameterizes the density experiments.
+	ExperimentConfig = sim.Fig8Config
+	// ExperimentMetric selects throughput, latency, or transmission count.
+	ExperimentMetric = sim.Metric
+	// HeadlineResult aggregates the paper's headline gains.
+	HeadlineResult = sim.Headline
+	// E2EConfig parameterizes the end-to-end deployment experiment.
+	E2EConfig = sim.E2EConfig
+	// E2EReport summarizes an end-to-end deployment run.
+	E2EReport = sim.E2EReport
+)
+
+// Experiment entry points, one per paper figure.
+var (
+	Fig7Offsets      = sim.Fig7Offsets
+	Fig7Stability    = sim.Fig7Stability
+	Fig8SNR          = sim.Fig8SNR
+	Fig8Users        = sim.Fig8Users
+	Fig9Throughput   = sim.Fig9Throughput
+	Fig9Range        = sim.Fig9Range
+	Fig10Resolution  = sim.Fig10Resolution
+	Fig11Grouping    = sim.Fig11Grouping
+	Fig11Throughput  = sim.Fig11Throughput
+	Fig12MUMIMO      = sim.Fig12MUMIMO
+	ComputeHeadline  = sim.ComputeHeadline
+	DefaultFig8      = sim.DefaultFig8
+	DefaultFig12     = sim.DefaultFig12
+	DefaultWorkbench = sim.DefaultCalibration
+	// EndToEnd runs the full deployment pipeline (geometry, scheduling,
+	// IQ-level collision and team decoding) in one experiment.
+	EndToEnd   = sim.EndToEnd
+	DefaultE2E = sim.DefaultE2E
+)
+
+// Metrics selectors for Fig8* experiments.
+const (
+	MetricThroughput = sim.Throughput
+	MetricLatency    = sim.Latency
+	MetricTxCount    = sim.TxCount
+)

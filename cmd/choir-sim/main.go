@@ -1,0 +1,132 @@
+// Command choir-sim regenerates the paper's evaluation figures from the
+// simulation harness and prints them as aligned text tables.
+//
+// Usage:
+//
+//	choir-sim -exp fig8d              # one experiment
+//	choir-sim -exp all                # everything (slow with -calibrate)
+//	choir-sim -exp fig8d -calibrate   # drive Choir with IQ-level Monte-Carlo
+//
+// Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
+// fig11a fig11b fig12 headline all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"choir"
+)
+
+func main() {
+	exp := flag.String("exp", "headline", "experiment id (fig7ab..fig12, headline, all)")
+	calibrate := flag.Bool("calibrate", false, "calibrate the Choir MAC model with the IQ-level decoder")
+	slots := flag.Int("slots", 4000, "MAC simulation length in slots")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	cfg := choir.DefaultFig8()
+	cfg.Slots = *slots
+	cfg.Seed = *seed
+	if !*calibrate {
+		cfg.Calibration.Trials = 0
+	}
+
+	runners := map[string]func() error{
+		"fig7ab": func() error { choir.Fig7Offsets(30, *seed).Fprint(os.Stdout); return nil },
+		"fig7cd": func() error { choir.Fig7Stability(4, *seed).Fprint(os.Stdout); return nil },
+		"fig8abc": func() error {
+			for _, m := range []choir.ExperimentMetric{choir.MetricThroughput, choir.MetricLatency, choir.MetricTxCount} {
+				fig, err := choir.Fig8SNR(cfg, m)
+				if err != nil {
+					return err
+				}
+				fig.Fprint(os.Stdout)
+				fmt.Println()
+			}
+			return nil
+		},
+		"fig8d": figUsers(cfg, choir.MetricThroughput),
+		"fig8e": figUsers(cfg, choir.MetricLatency),
+		"fig8f": figUsers(cfg, choir.MetricTxCount),
+		"fig9a": func() error { choir.Fig9Throughput(-22, 30).Fprint(os.Stdout); return nil },
+		"fig9b": func() error { choir.Fig9Range(30).Fprint(os.Stdout); return nil },
+		"fig10": func() error {
+			choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, *seed).Fprint(os.Stdout)
+			return nil
+		},
+		"fig11a": func() error { choir.Fig11Grouping(6, 20, *seed).Fprint(os.Stdout); return nil },
+		"fig11b": func() error {
+			fig, err := choir.Fig11Throughput(cfg, 10, 4, 5)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		},
+		"fig12": func() error {
+			f12 := choir.DefaultFig12()
+			f12.Fig8 = cfg
+			fig, err := choir.Fig12MUMIMO(f12)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		},
+		"e2e": func() error {
+			rep, err := choir.EndToEnd(choir.DefaultE2E())
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep)
+			return nil
+		},
+		"headline": func() error {
+			h, err := choir.ComputeHeadline(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("throughput gain vs ALOHA : %6.2fx  (paper: 29.02x)\n", h.ThroughputGainVsAloha)
+			fmt.Printf("throughput gain vs Oracle: %6.2fx  (paper:  6.84x)\n", h.ThroughputGainVsOracle)
+			fmt.Printf("latency reduction        : %6.2fx  (paper:  4.88x)\n", h.LatencyReduction)
+			fmt.Printf("transmission reduction   : %6.2fx  (paper:  4.54x)\n", h.TxReduction)
+			fmt.Printf("range gain @30-node teams: %6.2fx  (paper:  2.65x)\n", h.RangeGain)
+			return nil
+		},
+	}
+
+	order := []string{"fig7ab", "fig7cd", "fig8abc", "fig8d", "fig8e", "fig8f",
+		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "headline"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			fmt.Printf("==== %s ====\n", id)
+			if err := runners[id](); err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q; one of %v or all", *exp, order)
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func figUsers(cfg choir.ExperimentConfig, m choir.ExperimentMetric) func() error {
+	return func() error {
+		fig, err := choir.Fig8Users(cfg, m)
+		if err != nil {
+			return err
+		}
+		fig.Fprint(os.Stdout)
+		return nil
+	}
+}

@@ -1,0 +1,3 @@
+module choir
+
+go 1.22

@@ -1,0 +1,743 @@
+package choir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"choir/internal/cluster"
+	"choir/internal/dsp"
+	"choir/internal/linalg"
+	"choir/internal/lora"
+)
+
+// peakObs is a spectrum peak observed in one data window.
+type peakObs struct {
+	win  int        // data-window index
+	bin  float64    // interpolated position in natural bins
+	mag  float64    // magnitude
+	gain complex128 // complex spectrum value at the peak
+	user int        // assigned user index, -1 while unassigned
+}
+
+// decodeData walks the data windows of a collision, extracts peaks,
+// attributes them to the preamble-estimated users, and decodes each user's
+// symbol stream into a payload.
+func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadLen int) []*User {
+	p := d.cfg.LoRa
+	nsym := lora.SymbolsPerPayload(payloadLen, p.SF, p.CR)
+	start := p.HeaderSymbols() * d.n
+
+	users := make([]*User, len(ests))
+	for i, e := range ests {
+		users[i] = &User{
+			Offset:        e.offset,
+			Gain:          e.gain,
+			Symbols:       make([]int, nsym),
+			WindowOffsets: append([]float64(nil), e.perWin...),
+		}
+		for s := range users[i].Symbols {
+			users[i].Symbols[s] = -1
+		}
+	}
+
+	allPeaks := make([][]peakObs, nsym)
+	for w := 0; w < nsym; w++ {
+		off := start + w*d.n
+		if off+d.n > len(samples) {
+			break
+		}
+		allPeaks[w] = d.extractWindowPeaks(samples, off, w, ests)
+	}
+
+	if d.cfg.UseClustering && len(ests) > 1 {
+		d.assignByClustering(allPeaks, users)
+	} else {
+		d.assignGreedy(allPeaks, users)
+	}
+
+	// Final symbol decisions: maximum-likelihood matched filtering at each
+	// user's own offset with every other attributed tone subtracted. The
+	// peak-assignment pass above established which spectral energy belongs
+	// to whom; deciding symbols against the user's preamble offset (rather
+	// than rounding raw peak positions) cancels any estimation bias shared
+	// between the preamble and data windows — under multipath both the
+	// offset and the peaks shift by the ray centroid, so the difference
+	// stays on the symbol grid.
+	missing := make([]int, len(users))
+	for w := 0; w < nsym; w++ {
+		off := start + w*d.n
+		if off+d.n > len(samples) {
+			break
+		}
+		d.mlSymbolPass(samples, off, w, allPeaks[w], users)
+	}
+	// Iterative interference cancellation: with full tentative symbol
+	// streams in hand, each user's contribution to every window can be
+	// reconstructed — including the inter-symbol segment its timing offset
+	// drags into the window (Sec. 6.1), whose boundary is estimated from
+	// the data itself — and subtracted for the others, sharpening decisions
+	// the peak machinery got wrong (Gauss-Seidel sweeps, strongest user
+	// first since users arrive sorted by power).
+	bounds := d.estimateBoundaries(samples, start, nsym, users)
+	for iter := 0; iter < 2; iter++ {
+		changed := 0
+		for w := 0; w < nsym; w++ {
+			off := start + w*d.n
+			if off+d.n > len(samples) {
+				break
+			}
+			changed += d.icSymbolPass(samples, off, w, users, bounds)
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	for ui, u := range users {
+		for s, sym := range u.Symbols {
+			if sym < 0 {
+				u.Symbols[s] = 0
+				missing[ui]++
+			}
+		}
+		payload, _, err := lora.DecodeSymbols(u.Symbols, payloadLen, p)
+		u.Payload = payload
+		u.Err = err
+		if err == nil && missing[ui] > nsym/2 {
+			u.Err = fmt.Errorf("choir: lost track of user in %d/%d windows", missing[ui], nsym)
+			u.Payload = nil
+		}
+	}
+	return users
+}
+
+// mlSymbolPass re-decides every user's symbol for one window by matched
+// filtering at (candidate + user offset) on the window with all other
+// attributed peaks removed.
+func (d *Decoder) mlSymbolPass(samples []complex128, off, w int, peaks []peakObs, users []*User) {
+	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+	if len(peaks) == 0 {
+		return
+	}
+	offs := make([]float64, len(peaks))
+	for i, pk := range peaks {
+		offs[i] = pk.bin
+	}
+	joint := d.fitChannels(dech, offs)
+	// Remove only the tones attributed to SOME user: an unassigned peak is
+	// either noise (harmless to leave — the matched filter integrates past
+	// it) or a misattributed fragment of a real user's signal (catastrophic
+	// to subtract).
+	resid := dech
+	for i, pk := range peaks {
+		if pk.user >= 0 {
+			subtractTone(resid, offs[i]/float64(d.n), joint[i])
+		}
+	}
+	ownTone := make([]complex128, d.n)
+	for ui, u := range users {
+		// Re-add this user's own assigned peak (if any) to the residual.
+		copy(ownTone, resid)
+		for i, pk := range peaks {
+			if pk.user == ui {
+				addTone(ownTone, offs[i]/float64(d.n), joint[i])
+			}
+		}
+		spec := d.paddedSpectrum(ownTone)
+		best, bestMag := -1, 0.0
+		for s := 0; s < d.n; s++ {
+			bin := math.Mod(float64(s)+u.Offset, float64(d.n))
+			v := specAt(spec, bin, d.pad, d.n)
+			if m := real(v)*real(v) + imag(v)*imag(v); m > bestMag {
+				best, bestMag = s, m
+			}
+		}
+		if best >= 0 {
+			// Keep the assignment-derived value only when ML has no peak
+			// assigned at all AND the user had one (shouldn't happen); the
+			// ML value is authoritative.
+			u.Symbols[w] = best
+		}
+	}
+}
+
+// addTone adds h·e^{j2πfn} to x in place (f in cycles/sample).
+func addTone(x []complex128, f float64, h complex128) {
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * f * float64(i))
+		x[i] += h * complex(c, s)
+	}
+}
+
+// segReg is a masked tone regressor: a complex exponential at freq f (bins)
+// restricted to the sample range [lo, hi).
+type segReg struct {
+	f      float64
+	lo, hi int
+}
+
+// userSegs builds the (up to two) segment regressors describing user u's
+// contribution to data window w, given its estimated boundary b: the chirp
+// duality means the user's symbol edge sits at sample b of every window,
+// with the earlier symbol before it and the window's symbol after (b < N/2,
+// late transmitter), or the window's symbol before it and the next one
+// after (b >= N/2, early transmitter).
+func (d *Decoder) userSegs(u *User, w, b, nsym int, syncTail int) []segReg {
+	period := float64(d.n)
+	symAt := func(idx int) int {
+		switch {
+		case idx < 0:
+			return syncTail // window before the data region: last sync symbol
+		case idx >= nsym:
+			return -1 // past the frame: silence
+		default:
+			s := u.Symbols[idx]
+			if s < 0 {
+				return 0
+			}
+			return s
+		}
+	}
+	tone := func(sym int) float64 {
+		return math.Mod(float64(sym)+u.Offset+period, period)
+	}
+	var head, tail int
+	if b < d.n/2 {
+		head, tail = symAt(w-1), symAt(w)
+	} else {
+		head, tail = symAt(w), symAt(w+1)
+	}
+	var segs []segReg
+	if b > 0 && head >= 0 {
+		segs = append(segs, segReg{f: tone(head), lo: 0, hi: b})
+	}
+	if b < d.n && tail >= 0 {
+		segs = append(segs, segReg{f: tone(tail), lo: b, hi: d.n})
+	}
+	return segs
+}
+
+// mainSeg returns the sample range of the window that carries user u's
+// symbol for that window under boundary b.
+func (d *Decoder) mainSeg(b int) (lo, hi int) {
+	if b < d.n/2 {
+		return b, d.n
+	}
+	return 0, b
+}
+
+// fitSegments solves the least-squares channel fit over masked tone
+// regressors.
+func (d *Decoder) fitSegments(dech []complex128, regs []segReg) []complex128 {
+	k := len(regs)
+	if k == 0 {
+		return nil
+	}
+	e := linalg.NewMatrix(d.n, k)
+	for j, r := range regs {
+		cyc := r.f / float64(d.n)
+		for i := r.lo; i < r.hi; i++ {
+			s, c := math.Sincos(2 * math.Pi * cyc * float64(i))
+			e.Set(i, j, complex(c, s))
+		}
+	}
+	hs, err := linalg.LeastSquares(e, dech)
+	if err != nil {
+		hs = make([]complex128, k)
+		for j, r := range regs {
+			var sum complex128
+			for i := r.lo; i < r.hi; i++ {
+				s, c := math.Sincos(-2 * math.Pi * r.f / float64(d.n) * float64(i))
+				sum += dech[i] * complex(c, s)
+			}
+			if n := r.hi - r.lo; n > 0 {
+				hs[j] = sum / complex(float64(n), 0)
+			}
+		}
+	}
+	return hs
+}
+
+func subtractSeg(x []complex128, r segReg, h complex128, n int) {
+	cyc := r.f / float64(n)
+	for i := r.lo; i < r.hi; i++ {
+		s, c := math.Sincos(2 * math.Pi * cyc * float64(i))
+		x[i] -= h * complex(c, s)
+	}
+}
+
+// estimateBoundaries locates each user's symbol edge within the windows by
+// scanning candidate boundaries against a handful of data windows, with the
+// other users' tones crudely removed first. The edge position b (= the
+// user's total delay modulo a symbol) is a per-transmitter constant, so a
+// median over windows is robust even when individual symbol guesses are
+// still wrong.
+func (d *Decoder) estimateBoundaries(samples []complex128, start, nsym int, users []*User) []int {
+	period := float64(d.n)
+	sync := d.cfg.LoRa.SyncSymbols()
+	bounds := make([]int, len(users))
+	const maxProbe = 6
+	step := 2
+	work := make([]complex128, d.n)
+	for ui, u := range users {
+		scores := make([]float64, d.n/step+1)
+		probes := 0
+		for w := 1; w < nsym-1 && probes < maxProbe; w += 3 {
+			off := start + w*d.n
+			if off+d.n > len(samples) {
+				break
+			}
+			dech := d.dechirpWindow(samples, off)
+			copy(work, dech)
+			// Crude cleanup: subtract other users' window tones.
+			offs := make([]float64, 0, len(users)-1)
+			for uj, v := range users {
+				if uj == ui {
+					continue
+				}
+				s := v.Symbols[w]
+				if s < 0 {
+					s = 0
+				}
+				offs = append(offs, math.Mod(float64(s)+v.Offset+period, period))
+			}
+			hs := d.fitChannels(work, offs)
+			for j, f := range offs {
+				subtractTone(work, f/period, hs[j])
+			}
+			symPrev, symCur, symNext := 0, u.Symbols[w], 0
+			if w > 0 {
+				symPrev = u.Symbols[w-1]
+			} else {
+				symPrev = sync[1]
+			}
+			if w+1 < nsym {
+				symNext = u.Symbols[w+1]
+			}
+			if symCur < 0 {
+				continue
+			}
+			if symPrev < 0 {
+				symPrev = 0
+			}
+			if symNext < 0 {
+				symNext = 0
+			}
+			d.accumulateBoundaryScan(work, u.Offset, symPrev, symCur, symNext, step, scores)
+			probes++
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for bi, sc := range scores {
+			if sc > bestScore {
+				best, bestScore = bi*step, sc
+			}
+		}
+		bounds[ui] = best
+	}
+	return bounds
+}
+
+// accumulateBoundaryScan adds one window's explained-energy-versus-boundary
+// profile into scores. For boundary b the model is (prev|cur) when
+// b < N/2 and (cur|next) otherwise; prefix sums make the scan O(N).
+func (d *Decoder) accumulateBoundaryScan(work []complex128, offset float64, symPrev, symCur, symNext, step int, scores []float64) {
+	period := float64(d.n)
+	tone := func(sym int) float64 {
+		return math.Mod(float64(sym)+offset+period, period) / period
+	}
+	pref := func(f float64) []complex128 {
+		p := make([]complex128, d.n+1)
+		for i := 0; i < d.n; i++ {
+			s, c := math.Sincos(-2 * math.Pi * f * float64(i))
+			p[i+1] = p[i] + work[i]*complex(c, s)
+		}
+		return p
+	}
+	pPrev := pref(tone(symPrev))
+	pCur := pref(tone(symCur))
+	pNext := pref(tone(symNext))
+	energy := func(p []complex128, lo, hi int) float64 {
+		if hi <= lo {
+			return 0
+		}
+		v := p[hi] - p[lo]
+		return (real(v)*real(v) + imag(v)*imag(v)) / float64(hi-lo)
+	}
+	for bi := range scores {
+		b := bi * step
+		if b > d.n {
+			break
+		}
+		var sc float64
+		if b < d.n/2 {
+			sc = energy(pPrev, 0, b) + energy(pCur, b, d.n)
+		} else {
+			sc = energy(pCur, 0, b) + energy(pNext, b, d.n)
+		}
+		scores[bi] += sc
+	}
+}
+
+// icSymbolPass performs one interference-cancellation sweep over a window:
+// every user's full two-segment contribution is reconstructed from its
+// current symbol stream and boundary, the joint channels are least-squares
+// fitted, and each user's symbol is re-decided by matched filtering over
+// its main segment with everything else subtracted. It returns how many
+// symbol decisions changed.
+func (d *Decoder) icSymbolPass(samples []complex128, off, w int, users []*User, bounds []int) int {
+	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+	nsym := 0
+	for _, u := range users {
+		if len(u.Symbols) > nsym {
+			nsym = len(u.Symbols)
+		}
+	}
+	sync := d.cfg.LoRa.SyncSymbols()
+
+	build := func() ([]segReg, []int) {
+		var regs []segReg
+		var owner []int
+		for ui, u := range users {
+			for _, r := range d.userSegs(u, w, bounds[ui], nsym, sync[1]) {
+				regs = append(regs, r)
+				owner = append(owner, ui)
+			}
+		}
+		return regs, owner
+	}
+	regs, owner := build()
+	hs := d.fitSegments(dech, regs)
+
+	changed := 0
+	work := make([]complex128, d.n)
+	masked := make([]complex128, d.n)
+	for ui, u := range users {
+		copy(work, dech)
+		for j, r := range regs {
+			if owner[j] != ui {
+				subtractSeg(work, r, hs[j], d.n)
+			}
+		}
+		// Decide over the user's main segment only.
+		lo, hi := d.mainSeg(bounds[ui])
+		for i := range masked {
+			if i >= lo && i < hi {
+				masked[i] = work[i]
+			} else {
+				masked[i] = 0
+			}
+		}
+		spec := d.paddedSpectrum(masked)
+		best, bestMag := 0, 0.0
+		for s := 0; s < d.n; s++ {
+			bin := math.Mod(float64(s)+u.Offset, float64(d.n))
+			v := specAt(spec, bin, d.pad, d.n)
+			if m := real(v)*real(v) + imag(v)*imag(v); m > bestMag {
+				best, bestMag = s, m
+			}
+		}
+		if best != u.Symbols[w] {
+			u.Symbols[w] = best
+			regs, owner = build()
+			hs = d.fitSegments(dech, regs)
+			changed++
+		}
+	}
+	return changed
+}
+
+// extractWindowPeaks finds the peaks of one data window, applying one round
+// of within-window SIC when needed: if some user has no peak whose
+// fractional position matches its offset fingerprint (typically a weak user
+// under a strong one's side lobes), every peak found so far is modelled and
+// subtracted and the residual is searched again at a lower threshold
+// (Sec. 5.2 applied per window).
+func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []userEstimate) []peakObs {
+	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+
+	var out []peakObs
+	budget := len(ests) + 2
+	for round := 0; round < 2; round++ {
+		spec := d.paddedSpectrum(dech)
+		mags := magnitudes(spec)
+		floor := dsp.NoiseFloor(mags)
+		thresh := floor * d.cfg.PeakThreshold
+		if round > 0 {
+			thresh = floor * (1 + (d.cfg.PeakThreshold-1)/3)
+		}
+		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
+			Pad:           d.pad,
+			MinSeparation: 0.9,
+			Threshold:     thresh,
+			Max:           budget,
+		})
+		for _, pk := range peaks {
+			out = append(out, peakObs{
+				win:  w,
+				bin:  pk.Bin,
+				mag:  pk.Mag,
+				gain: specAt(spec, pk.Bin, d.pad, d.n),
+				user: -1,
+			})
+		}
+		if round > 0 || d.cfg.SICPhases == 0 || d.usersMatched(out, ests) >= len(ests) {
+			break
+		}
+		// Some user is still buried: remove everything visible (subtracting
+		// a peak's fitted tone removes its entire sinc, side lobes included)
+		// and look underneath.
+		for _, pk := range out {
+			h1, h2, i0 := segmentFit(dech, pk.bin/float64(d.n))
+			d.subtractSegments(dech, pk.bin, h1, h2, i0)
+		}
+	}
+	if d.cfg.FineSearch && len(out) > 1 {
+		out = d.refinePeakPositions(samples, off, out)
+	}
+	return out
+}
+
+// refinePeakPositions re-measures each peak's position with the leakage of
+// every other peak modelled and subtracted (the per-symbol application of
+// Algm. 1's leakage modelling). Without this, a weak user's data peak sitting
+// on a strong user's spectral skirt is biased by a sizeable fraction of a
+// bin, enough to break the fractional-offset fingerprint match.
+// It returns the surviving peaks: entries whose magnitude collapses once the
+// other peaks are removed were never users — they were side lobes or
+// reconstruction residue — and are dropped, as are near-duplicates.
+func (d *Decoder) refinePeakPositions(samples []complex128, off int, out []peakObs) []peakObs {
+	dech := d.dechirpWindow(samples, off)
+	// Joint least-squares fit over all peak frequencies (Eqn. 2) seeds an
+	// alternating two-segment refinement (the same scheme subtractUsers
+	// applies to the preamble): fitting the tones together apportions
+	// energy correctly even when peaks are close, and the per-peak
+	// two-segment models capture the constant-phase jump a fractional
+	// timing offset puts inside each window.
+	offs := make([]float64, len(out))
+	for i, pk := range out {
+		offs[i] = pk.bin
+	}
+	joint := d.fitChannels(dech, offs)
+	type segModel struct {
+		h1, h2 complex128
+		i0     int
+	}
+	models := make([]segModel, len(out))
+	residual := append([]complex128(nil), dech...)
+	for i := range out {
+		models[i] = segModel{h1: joint[i], h2: joint[i], i0: 0}
+		d.subtractSegments(residual, offs[i], joint[i], joint[i], 0)
+	}
+	origMag := make([]float64, len(out))
+	for i, pk := range out {
+		origMag[i] = pk.mag
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := range out {
+			d.addSegments(residual, offs[i], models[i].h1, models[i].h2, models[i].i0)
+			// Golden-refine this peak's frequency on its cleaned signal:
+			// the two-segment fit gates out the adjacent symbol's segment,
+			// so the refined position is free of both other-user leakage
+			// and the peak's own timing-offset bias.
+			f, h1, h2, i0 := d.segmentFitRefined(residual, offs[i])
+			offs[i] = f
+			models[i] = segModel{h1, h2, i0}
+			d.subtractSegments(residual, f, h1, h2, i0)
+		}
+	}
+	for i := range out {
+		md := models[i]
+		out[i].bin = math.Mod(offs[i]+float64(d.n), float64(d.n))
+		// Dominant segment's channel and equivalent full-window magnitude.
+		h, seg := md.h2, d.n-md.i0
+		if md.i0 > d.n/2 {
+			h, seg = md.h1, md.i0
+		}
+		out[i].gain = h * complex(float64(d.n), 0)
+		out[i].mag = cmplxAbs(h) * float64(seg)
+	}
+	// Filter: drop entries that lost most of their magnitude (leakage
+	// artifacts) and near-duplicates of stronger survivors.
+	kept := out[:0]
+	for i, pk := range out {
+		if pk.mag < 0.4*origMag[i] {
+			continue
+		}
+		dup := false
+		for _, s := range kept {
+			if dsp.CircularBinDist(pk.bin, s.bin, float64(d.n)) < 0.9 && pk.mag <= s.mag {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, pk)
+		}
+	}
+	return kept
+}
+
+// usersMatched counts how many estimated users can be given a *distinct*
+// peak whose fractional position matches their fingerprint (greedy
+// one-to-one matching by fractional distance). A single strong peak must not
+// satisfy two users at once — that is precisely the situation where a weak
+// user is still buried and within-window SIC is required.
+func (d *Decoder) usersMatched(peaks []peakObs, ests []userEstimate) int {
+	type cand struct {
+		pi, ui int
+		fd     float64
+	}
+	var cands []cand
+	for ui, e := range ests {
+		frac := e.offset - math.Floor(e.offset)
+		for pi, pk := range peaks {
+			pkFrac := pk.bin - math.Floor(pk.bin)
+			if fd := math.Abs(dsp.FracDiff(pkFrac, frac)); fd <= d.cfg.MatchTolerance {
+				cands = append(cands, cand{pi: pi, ui: ui, fd: fd})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].fd < cands[j].fd })
+	usedPeak := make([]bool, len(peaks))
+	usedUser := make([]bool, len(ests))
+	count := 0
+	for _, c := range cands {
+		if usedPeak[c.pi] || usedUser[c.ui] {
+			continue
+		}
+		usedPeak[c.pi] = true
+		usedUser[c.ui] = true
+		count++
+	}
+	return count
+}
+
+// assignGreedy matches peaks to users window by window using the fractional
+// offset fingerprint, preferring low fractional distance and then channel
+// magnitude consistency. Each user takes at most one peak per window — when
+// inter-symbol interference splits a user across two peaks (Fig. 5), the
+// stronger one carries the aligned symbol for sub-half-symbol offsets.
+func (d *Decoder) assignGreedy(allPeaks [][]peakObs, users []*User) {
+	period := float64(d.n)
+	for w := range allPeaks {
+		peaks := allPeaks[w]
+		type cand struct {
+			pi, ui int
+			cost   float64
+		}
+		var cands []cand
+		for pi, pk := range peaks {
+			pkFrac := pk.bin - math.Floor(pk.bin)
+			for ui, u := range users {
+				fd := math.Abs(dsp.FracDiff(pkFrac, u.FracOffset()))
+				if fd > d.cfg.MatchTolerance {
+					continue
+				}
+				// Secondary feature: channel magnitude consistency. The peak
+				// magnitude ≈ |h|·n for a full-window tone. At high user
+				// counts several users' fractional fingerprints collide
+				// (birthday paradox over [0,1)), and magnitude becomes the
+				// deciding feature — weight it accordingly.
+				uMag := cmplxAbs(u.Gain) * float64(d.n)
+				magRatio := math.Abs(math.Log((pk.mag + 1e-30) / (uMag + 1e-30)))
+				cands = append(cands, cand{pi: pi, ui: ui, cost: fd + 0.15*magRatio})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+		usedPeak := make([]bool, len(peaks))
+		usedUser := make([]bool, len(users))
+		for _, c := range cands {
+			if usedPeak[c.pi] || usedUser[c.ui] {
+				continue
+			}
+			usedPeak[c.pi] = true
+			usedUser[c.ui] = true
+			peaks[c.pi].user = c.ui
+			d.recordSymbol(users[c.ui], w, peaks[c.pi], period)
+		}
+	}
+}
+
+// assignByClustering implements the Sec. 6.2 HMRF approach: all data peaks
+// become feature points (fractional offset on the unit circle plus log
+// channel magnitude), peaks within a window are pairwise cannot-linked, and
+// the resulting clusters are mapped to users by fractional-offset proximity
+// of their centroids to the preamble estimates.
+func (d *Decoder) assignByClustering(allPeaks [][]peakObs, users []*User) {
+	var pts []cluster.Point
+	var refs []*peakObs
+	var cons cluster.Constraints
+	for w := range allPeaks {
+		base := len(pts)
+		for pi := range allPeaks[w] {
+			pk := &allPeaks[w][pi]
+			frac := pk.bin - math.Floor(pk.bin)
+			x, y := cluster.CircleFeatures(frac, 1)
+			logMag := math.Log(pk.mag + 1e-30)
+			pts = append(pts, cluster.Point{Features: []float64{x, y, 0.1 * logMag}})
+			refs = append(refs, pk)
+			for prev := base; prev < len(pts)-1; prev++ {
+				cons.CannotLink = append(cons.CannotLink, [2]int{prev, len(pts) - 1})
+			}
+		}
+	}
+	k := len(users)
+	if len(pts) < k || k == 0 {
+		d.assignGreedy(allPeaks, users)
+		return
+	}
+	res, err := cluster.Cluster(pts, k, cons, cluster.Config{Restarts: 4}, d.rng)
+	if err != nil {
+		d.assignGreedy(allPeaks, users)
+		return
+	}
+	// Map cluster -> user via centroid fractional offset.
+	clusterToUser := make([]int, k)
+	for c := 0; c < k; c++ {
+		cx, cy := res.Centroids[c][0], res.Centroids[c][1]
+		frac := math.Atan2(cy, cx) / (2 * math.Pi)
+		if frac < 0 {
+			frac += 1
+		}
+		best, bestD := -1, math.Inf(1)
+		for ui, u := range users {
+			if fd := math.Abs(dsp.FracDiff(frac, u.FracOffset())); fd < bestD {
+				best, bestD = ui, fd
+			}
+		}
+		clusterToUser[c] = best
+	}
+	// One peak per user per window: keep the strongest.
+	type key struct{ w, u int }
+	bestPeak := map[key]*peakObs{}
+	for i, pk := range refs {
+		u := clusterToUser[res.Assign[i]]
+		if u < 0 {
+			continue
+		}
+		kk := key{pk.win, u}
+		if cur, ok := bestPeak[kk]; !ok || pk.mag > cur.mag {
+			bestPeak[kk] = pk
+		}
+	}
+	for kk, pk := range bestPeak {
+		pk.user = kk.u
+		d.recordSymbol(users[kk.u], kk.w, *pk, float64(d.n))
+	}
+}
+
+// recordSymbol converts an assigned peak into the user's data symbol for
+// window w and logs the implied per-window offset estimate.
+func (d *Decoder) recordSymbol(u *User, w int, pk peakObs, period float64) {
+	raw := pk.bin - u.Offset
+	sym := int(math.Round(raw))
+	sym = ((sym % d.n) + d.n) % d.n
+	u.Symbols[w] = sym
+	// The residual offset implied by this peak (bin − data) tracks offset
+	// stability across the packet.
+	obs := pk.bin - float64(sym)
+	obs = math.Mod(obs+period, period)
+	u.WindowOffsets = append(u.WindowOffsets, obs)
+}
+
+func cmplxAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }

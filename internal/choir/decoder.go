@@ -1,0 +1,291 @@
+// Package choir implements the paper's primary contribution: decoding
+// collisions of LoRa chirp-spread-spectrum transmissions at a
+// single-antenna base station by exploiting the natural hardware offsets
+// (carrier-frequency offset, timing offset, channel) of low-cost LP-WAN
+// clients.
+//
+// The pipeline mirrors Sections 4-7 of the paper:
+//
+//  1. Each received symbol window is dechirped and transformed with a
+//     zero-padded FFT, turning every colliding transmitter into a spectral
+//     peak at (data + aggregate offset) bins, where the aggregate offset
+//     folds together CFO and timing offset via chirp duality.
+//  2. Preamble windows (known data = 0) yield each user's aggregate offset.
+//     Coarse peak positions are refined to a small fraction of a bin by
+//     modelling inter-peak sinc leakage: channels are fit by least squares
+//     and the offsets are jittered to minimize the reconstruction residual
+//     (Algm. 1), which is locally convex.
+//  3. Near-far collisions are handled by phased successive interference
+//     cancellation: all simultaneously discernible strong users are
+//     estimated jointly and subtracted together before searching for
+//     weaker peaks (Sec. 5.2).
+//  4. Data windows are matched to users by the fractional part of peak
+//     positions (plus channel features), either greedily against the
+//     preamble estimates or with constrained clustering (Sec. 6.2);
+//     inter-symbol interference from timing offsets is de-duplicated
+//     (Sec. 6.1).
+//  5. Teams of below-noise transmitters sending identical data are detected
+//     by coherently accumulating preamble spectra across windows and decoded
+//     with a maximum-likelihood search over candidate symbols (Sec. 7.2).
+package choir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"choir/internal/dsp"
+	"choir/internal/lora"
+)
+
+// Config controls the decoder.
+type Config struct {
+	// LoRa is the PHY configuration of the colliding transmissions.
+	LoRa lora.Params
+	// Pad is the zero-padding factor for peak-resolution FFTs. The paper
+	// uses 10×; the decoder rounds the FFT length up to the next power of
+	// two (so 10 behaves as 16). Must be >= 4 for usable fractional
+	// resolution.
+	Pad int
+	// MaxUsers caps how many colliding transmitters are tracked.
+	MaxUsers int
+	// PeakThreshold is the multiple of the spectrum's median magnitude a
+	// peak must exceed to count as a user (default 5).
+	PeakThreshold float64
+	// FineSearch enables residual-minimization refinement of offsets
+	// (Sec. 5.1). Disabling it degrades user tracking — the FineCFO
+	// ablation bench quantifies how much.
+	FineSearch bool
+	// FineIters is the number of golden-section iterations per offset per
+	// coordinate-descent sweep (default 16).
+	FineIters int
+	// SICPhases is the number of phased-SIC rounds on the preamble
+	// (default 2; 0 disables SIC and loses weak users under near-far).
+	SICPhases int
+	// DynamicRangeDB is the per-window power range within which peaks are
+	// accepted as users in one SIC phase (default 10 dB). Peaks further
+	// below the strongest are deferred: they are indistinguishable from the
+	// strong users' sinc side lobes until those users are modelled and
+	// subtracted — the essence of phased SIC (Sec. 5.2).
+	DynamicRangeDB float64
+	// TotalDynamicRangeDB is the power span between the strongest and the
+	// weakest user the decoder will report (default 35 dB). Anything weaker
+	// is indistinguishable from SIC reconstruction residue; transmitters
+	// that far down need the team decoding of Sec. 7 instead.
+	TotalDynamicRangeDB float64
+	// UseClustering maps data peaks to users with constrained clustering on
+	// (fractional offset, channel magnitude) features, as in Sec. 6.2,
+	// instead of greedy matching against preamble offsets.
+	UseClustering bool
+	// MatchTolerance is the maximum fractional-bin distance for greedy
+	// peak-to-user matching (default 0.07). Wider tolerances survive noisier
+	// offset estimates but raise the probability that two users' fractional
+	// fingerprints collide — the binding constraint on how many concurrent
+	// users scale (Sec. 5.2 note 3).
+	MatchTolerance float64
+	// Seed seeds the decoder's internal randomness (clustering restarts,
+	// fine-search starting points). The decoder is deterministic for a
+	// fixed seed.
+	Seed uint64
+}
+
+// DefaultConfig returns the decoder configuration used in the evaluation.
+func DefaultConfig(p lora.Params) Config {
+	return Config{
+		LoRa:                p,
+		Pad:                 10,
+		MaxUsers:            16,
+		PeakThreshold:       5,
+		FineSearch:          true,
+		FineIters:           16,
+		SICPhases:           2,
+		DynamicRangeDB:      10,
+		TotalDynamicRangeDB: 35,
+		UseClustering:       false,
+		MatchTolerance:      0.07,
+		Seed:                1,
+	}
+}
+
+// Decoder decodes LoRa collisions. Create one with New; it precomputes FFT
+// plans and chirp tables and may be reused across packets. A Decoder is not
+// safe for concurrent use (it owns scratch buffers); create one per
+// goroutine.
+type Decoder struct {
+	cfg    Config
+	modem  *lora.Modem
+	n      int      // symbol size
+	padN   int      // padded FFT size (power of two >= Pad*n)
+	pad    int      // effective padding factor padN/n
+	fft    *dsp.FFT // padded-size plan
+	symFFT *dsp.FFT // symbol-size plan
+	rng    *rand.Rand
+
+	scratchDech []complex128
+	scratchPad  []complex128
+	scratchSpec []complex128
+}
+
+// New validates cfg and builds a decoder.
+func New(cfg Config) (*Decoder, error) {
+	if err := cfg.LoRa.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Pad < 4 {
+		return nil, fmt.Errorf("choir: padding factor %d < 4", cfg.Pad)
+	}
+	if cfg.MaxUsers < 1 {
+		return nil, fmt.Errorf("choir: MaxUsers %d < 1", cfg.MaxUsers)
+	}
+	if cfg.PeakThreshold <= 1 {
+		return nil, fmt.Errorf("choir: PeakThreshold %g must exceed 1", cfg.PeakThreshold)
+	}
+	if cfg.FineIters <= 0 {
+		cfg.FineIters = 16
+	}
+	if cfg.MatchTolerance <= 0 {
+		cfg.MatchTolerance = 0.07
+	}
+	if cfg.DynamicRangeDB <= 0 {
+		cfg.DynamicRangeDB = 10
+	}
+	if cfg.TotalDynamicRangeDB <= 0 {
+		cfg.TotalDynamicRangeDB = 35
+	}
+	modem, err := lora.NewModem(cfg.LoRa)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.LoRa.N()
+	padN := dsp.NextPow2(cfg.Pad * n)
+	return &Decoder{
+		cfg:         cfg,
+		modem:       modem,
+		n:           n,
+		padN:        padN,
+		pad:         padN / n,
+		fft:         dsp.NewFFT(padN),
+		symFFT:      dsp.NewFFT(n),
+		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xC0FFEE)),
+		scratchDech: make([]complex128, n),
+		scratchPad:  make([]complex128, padN),
+		scratchSpec: make([]complex128, padN),
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Decoder {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the decoder's configuration.
+func (d *Decoder) Config() Config { return d.cfg }
+
+// User is one transmitter recovered from a collision.
+type User struct {
+	// Offset is the aggregate hardware offset in FFT bins, modulo the symbol
+	// size, with sub-bin precision. Its fractional part is the fingerprint
+	// that tracks the user across symbols.
+	Offset float64
+	// Gain is the estimated complex channel (averaged over the preamble).
+	Gain complex128
+	// Symbols is the decoded data-symbol sequence.
+	Symbols []int
+	// Payload is the decoded payload; nil when decoding failed.
+	Payload []byte
+	// Err records why payload decoding failed (CRC, FEC, tracking loss).
+	Err error
+	// WindowOffsets are the per-window raw offset estimates (preamble and
+	// data), used to characterize offset stability (paper Fig. 7).
+	WindowOffsets []float64
+}
+
+// FracOffset returns the fractional part of the user's offset in [0,1).
+func (u *User) FracOffset() float64 {
+	f := u.Offset - math.Floor(u.Offset)
+	if f < 0 {
+		f += 1
+	}
+	return f
+}
+
+// Decoded reports whether the payload decoded cleanly.
+func (u *User) Decoded() bool { return u.Err == nil && u.Payload != nil }
+
+// Result is the outcome of decoding one collision.
+type Result struct {
+	// Users holds every separated transmitter, strongest first.
+	Users []*User
+}
+
+// DecodedPayloads returns the payloads of all successfully decoded users.
+func (r *Result) DecodedPayloads() [][]byte {
+	var out [][]byte
+	for _, u := range r.Users {
+		if u.Decoded() {
+			out = append(out, u.Payload)
+		}
+	}
+	return out
+}
+
+// ErrNoUsers is returned when no transmitter is detected in the signal.
+var ErrNoUsers = errors.New("choir: no users detected")
+
+// Decode disentangles a collision. samples must start at the nominal slot
+// boundary (all transmitters begin within a sub-symbol timing offset of
+// sample zero) and contain the full frame; payloadLen is the expected
+// payload length in bytes, as fixed by the network's schedule.
+func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) {
+	p := d.cfg.LoRa
+	need := p.FrameSamples(payloadLen)
+	if len(samples) < need {
+		return nil, fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+	}
+	ests := d.estimatePreamble(samples)
+	if len(ests) == 0 {
+		return nil, ErrNoUsers
+	}
+	users := d.decodeData(samples, ests, payloadLen)
+	return &Result{Users: users}, nil
+}
+
+// dechirpWindow dechirps the n-sample window starting at off into the
+// decoder's scratch buffer and returns it (valid until the next call).
+func (d *Decoder) dechirpWindow(samples []complex128, off int) []complex128 {
+	return lora.Dechirp(d.scratchDech, samples[off:off+d.n], d.modem.Down())
+}
+
+// paddedSpectrum computes the complex zero-padded spectrum of a dechirped
+// window into scratch (valid until the next call).
+func (d *Decoder) paddedSpectrum(dech []complex128) []complex128 {
+	for i := range d.scratchPad {
+		d.scratchPad[i] = 0
+	}
+	copy(d.scratchPad, dech)
+	return d.fft.Transform(d.scratchSpec, d.scratchPad)
+}
+
+// magnitudes converts a complex spectrum to magnitudes (allocating).
+func magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = math.Hypot(real(v), imag(v))
+	}
+	return out
+}
+
+// specAt samples a complex padded spectrum at a fractional natural-bin
+// position by nearest-padded-bin lookup.
+func specAt(spec []complex128, bin float64, pad, n int) complex128 {
+	idx := int(math.Round(bin*float64(pad)+0.0)) % (n * pad)
+	if idx < 0 {
+		idx += n * pad
+	}
+	return spec[idx]
+}

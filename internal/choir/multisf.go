@@ -1,0 +1,88 @@
+package choir
+
+import (
+	"fmt"
+
+	"choir/internal/lora"
+)
+
+// MultiSFDecoder runs Choir independently per spreading factor on the same
+// received stream, implementing the concluding observation of Sec. 5.2:
+// chirps of different spreading factors are quasi-orthogonal, so a
+// congested network can spread its collisions across SFs and the base
+// station can disentangle each SF's collision in parallel — the
+// orthogonality handles the inter-SF separation, Choir handles the
+// intra-SF collisions.
+type MultiSFDecoder struct {
+	decoders map[lora.SpreadingFactor]*Decoder
+}
+
+// NewMultiSF builds one Choir decoder per requested spreading factor. All
+// share the bandwidth and structural settings of base; base.LoRa.SF is
+// ignored.
+func NewMultiSF(base Config, sfs []lora.SpreadingFactor) (*MultiSFDecoder, error) {
+	if len(sfs) == 0 {
+		return nil, fmt.Errorf("choir: no spreading factors given")
+	}
+	m := &MultiSFDecoder{decoders: make(map[lora.SpreadingFactor]*Decoder, len(sfs))}
+	for _, sf := range sfs {
+		if _, dup := m.decoders[sf]; dup {
+			return nil, fmt.Errorf("choir: duplicate spreading factor %v", sf)
+		}
+		cfg := base
+		cfg.LoRa.SF = sf
+		d, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("choir: %v: %w", sf, err)
+		}
+		m.decoders[sf] = d
+	}
+	return m, nil
+}
+
+// SFResult is one spreading factor's slice of a multi-SF collision.
+type SFResult struct {
+	SF lora.SpreadingFactor
+	// Result holds the users decoded at this SF; nil when nothing was
+	// detected there.
+	Result *Result
+	// Err records a decode failure other than "no users" (signal too
+	// short, etc.).
+	Err error
+}
+
+// Decode demodulates the stream with every configured spreading factor's
+// chirp and runs Choir on each resulting sub-stream. payloadLen maps each
+// SF to its expected payload length (SFs absent from the map are skipped).
+// Results are returned in ascending SF order.
+func (m *MultiSFDecoder) Decode(samples []complex128, payloadLen map[lora.SpreadingFactor]int) []SFResult {
+	var out []SFResult
+	for sf := lora.SF7; sf <= lora.SF12; sf++ {
+		d, ok := m.decoders[sf]
+		if !ok {
+			continue
+		}
+		plen, ok := payloadLen[sf]
+		if !ok {
+			continue
+		}
+		res, err := d.Decode(samples, plen)
+		sr := SFResult{SF: sf}
+		switch {
+		case err == nil:
+			sr.Result = res
+		case err == ErrNoUsers:
+			// Nothing transmitted at this SF — not an error.
+		default:
+			sr.Err = err
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// Decoder returns the per-SF decoder (nil if the SF was not configured),
+// for callers needing team decoding or direct access at one SF.
+func (m *MultiSFDecoder) Decoder(sf lora.SpreadingFactor) *Decoder {
+	return m.decoders[sf]
+}

@@ -1,0 +1,628 @@
+package choir
+
+import (
+	"math"
+	"sort"
+
+	"choir/internal/dsp"
+	"choir/internal/linalg"
+)
+
+// userEstimate is one transmitter's preamble-derived state.
+type userEstimate struct {
+	offset   float64      // aggregate offset in bins (mod n), sub-bin precision
+	gain     complex128   // channel averaged coherently over preamble windows
+	power    float64      // mean |h|²
+	perWin   []float64    // raw per-window offset estimates (Fig. 7 stability)
+	gainWin  []complex128 // per-window channel estimates
+	i0Win    []int        // per-window symbol-boundary estimates
+	boundary int          // median boundary: where the user's symbol edge falls inside windows
+}
+
+// estimatePreamble recovers every discernible user's aggregate offset and
+// channel from the preamble windows, applying phased SIC to surface weak
+// users buried under strong ones.
+func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
+	p := d.cfg.LoRa
+	nWin := p.PreambleLen
+
+	// Working copies of each dechirped preamble window: SIC subtracts
+	// reconstructed strong users from these.
+	wins := make([][]complex128, nWin)
+	for w := 0; w < nWin; w++ {
+		dech := d.dechirpWindow(samples, w*d.n)
+		wins[w] = append([]complex128(nil), dech...)
+	}
+
+	var users []userEstimate
+	for phase := 0; phase <= d.cfg.SICPhases; phase++ {
+		found := d.findPreambleUsers(wins, users)
+		if len(found) == 0 {
+			break
+		}
+		users = append(users, found...)
+		if len(users) >= d.cfg.MaxUsers || phase == d.cfg.SICPhases {
+			break
+		}
+		// Subtract every user found so far (jointly re-fit per window) so
+		// the next phase can see weaker peaks.
+		d.subtractUsers(wins, users)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].power > users[j].power })
+	users = d.mergeMultipathRays(users)
+	if len(users) > d.cfg.MaxUsers {
+		users = users[:d.cfg.MaxUsers]
+	}
+	// Drop "users" so far below the strongest that they can only be SIC
+	// reconstruction residue.
+	if len(users) > 1 {
+		floor := users[0].power * math.Pow(10, -d.cfg.TotalDynamicRangeDB/10)
+		keep := users[:1]
+		for _, u := range users[1:] {
+			if u.power >= floor {
+				keep = append(keep, u)
+			}
+		}
+		users = keep
+	}
+	return users
+}
+
+// findPreambleUsers detects peaks that appear consistently across the
+// preamble windows and estimates their offsets and channels. Peaks within
+// one bin of an already-known user are ignored: after SIC subtraction, small
+// reconstruction residue at a strong user's bin must not be re-discovered as
+// a ghost user.
+func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) []userEstimate {
+	budget := d.cfg.MaxUsers - len(known)
+	if budget <= 0 {
+		return nil
+	}
+	// Two rules reject a known user's subtraction residue while still
+	// letting a genuine second user hiding under its skirt surface from the
+	// residual: (1) anything within 0.35 bins of a known user is its own
+	// leftover; (2) anything within 1.5 bins must carry at least -12 dB of
+	// that user's power — reconstruction residue sits 20-25 dB down,
+	// whereas a real neighbour close enough to have been masked is by
+	// construction within the per-phase dynamic range.
+	nearKnown := func(bin, mag float64) bool {
+		for _, u := range known {
+			dist := dsp.CircularBinDist(bin, u.offset, float64(d.n))
+			if dist < 0.35 {
+				return true
+			}
+			if dist < 1.5 {
+				parentMag := math.Sqrt(u.power) * float64(d.n)
+				if mag < parentMag*math.Pow(10, -12.0/20) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Collect peaks per window. Peaks more than DynamicRangeDB below the
+	// window's strongest are deferred to a later SIC phase: at that depth
+	// they cannot be told apart from the strong peaks' sinc side lobes, so
+	// they must wait until the strong users are modelled and subtracted.
+	relCut := math.Pow(10, -d.cfg.DynamicRangeDB/20)
+	type obs struct {
+		bin float64
+		mag float64
+	}
+	perWin := make([][]obs, len(wins))
+	for w, dech := range wins {
+		spec := d.paddedSpectrum(dech)
+		mags := magnitudes(spec)
+		floor := dsp.NoiseFloor(mags)
+		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
+			Pad:           d.pad,
+			MinSeparation: 0.9,
+			Threshold:     floor * d.cfg.PeakThreshold,
+			Max:           budget + 4,
+		})
+		for _, pk := range peaks {
+			if nearKnown(pk.Bin, pk.Mag) {
+				continue
+			}
+			if len(peaks) > 0 && pk.Mag < peaks[0].Mag*relCut {
+				continue
+			}
+			perWin[w] = append(perWin[w], obs{bin: pk.Bin, mag: pk.Mag})
+		}
+	}
+
+	// Group observations across windows by circular proximity (< 0.5 bin),
+	// matching each observation to the nearest existing group.
+	type group struct {
+		bins []float64
+		mags []float64
+		hits int
+	}
+	var groups []group
+	period := float64(d.n)
+	for _, obsw := range perWin {
+		for _, o := range obsw {
+			best, bestDist := -1, 0.5
+			for gi := range groups {
+				ref := circularMean(groups[gi].bins, period)
+				if dist := dsp.CircularBinDist(ref, o.bin, period); dist < bestDist {
+					best, bestDist = gi, dist
+				}
+			}
+			if best >= 0 {
+				groups[best].bins = append(groups[best].bins, o.bin)
+				groups[best].mags = append(groups[best].mags, o.mag)
+				groups[best].hits++
+			} else {
+				groups = append(groups, group{bins: []float64{o.bin}, mags: []float64{o.mag}, hits: 1})
+			}
+		}
+	}
+
+	// A user must appear in at least half the preamble windows. Keep the
+	// strongest groups when the budget binds.
+	minHits := (len(wins) + 1) / 2
+	sort.Slice(groups, func(i, j int) bool {
+		return dsp.Mean(groups[i].mags)*float64(groups[i].hits) > dsp.Mean(groups[j].mags)*float64(groups[j].hits)
+	})
+	var coarse []float64
+	for _, g := range groups {
+		if g.hits >= minHits {
+			coarse = append(coarse, circularMean(g.bins, period))
+		}
+	}
+	if len(coarse) == 0 {
+		return nil
+	}
+	coarse = d.validateCandidates(wins, coarse)
+	if len(coarse) == 0 {
+		return nil
+	}
+	if len(coarse) > budget {
+		coarse = coarse[:budget]
+	}
+
+	// Joint per-window refinement: least-squares channels (+ optional
+	// residual-minimization of offsets), then aggregate across windows.
+	ests := make([]userEstimate, len(coarse))
+	for i := range ests {
+		ests[i].perWin = make([]float64, 0, len(wins))
+		ests[i].gainWin = make([]complex128, 0, len(wins))
+	}
+	for _, dech := range wins {
+		offs := append([]float64(nil), coarse...)
+		var hs []complex128
+		var i0s []int
+		if d.cfg.FineSearch {
+			offs, hs, i0s = d.refineOffsets(dech, offs)
+		} else {
+			hs = d.fitChannels(dech, offs)
+			i0s = make([]int, len(offs))
+		}
+		for i := range ests {
+			ests[i].perWin = append(ests[i].perWin, offs[i])
+			ests[i].gainWin = append(ests[i].gainWin, hs[i])
+			ests[i].i0Win = append(ests[i].i0Win, i0s[i])
+		}
+	}
+	for i := range ests {
+		ests[i].offset = circularMean(ests[i].perWin, period)
+		ests[i].gain = coherentGain(ests[i].gainWin)
+		ests[i].boundary = medianInt(ests[i].i0Win)
+		var pw float64
+		for _, h := range ests[i].gainWin {
+			pw += real(h)*real(h) + imag(h)*imag(h)
+		}
+		ests[i].power = pw / float64(len(ests[i].gainWin))
+	}
+	return ests
+}
+
+// medianInt returns the median of xs (0 for empty input).
+func medianInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]int(nil), xs...)
+	sort.Ints(tmp)
+	return tmp[len(tmp)/2]
+}
+
+// coherentGain averages per-window channel estimates coherently. The
+// inter-window phase increment cannot be predicted from the aggregate
+// offset — only its CFO component advances the carrier phase between
+// windows, and the aggregate folds CFO and timing together — so the
+// increment is estimated empirically from consecutive windows and removed
+// before averaging.
+func coherentGain(gainWin []complex128) complex128 {
+	if len(gainWin) == 0 {
+		return 0
+	}
+	if len(gainWin) == 1 {
+		return gainWin[0]
+	}
+	var acc complex128
+	for w := 1; w < len(gainWin); w++ {
+		prev := gainWin[w-1]
+		acc += gainWin[w] * complex(real(prev), -imag(prev))
+	}
+	phi := math.Atan2(imag(acc), real(acc))
+	var sum complex128
+	for w, h := range gainWin {
+		s, c := math.Sincos(-phi * float64(w))
+		sum += h * complex(c, s)
+	}
+	return sum / complex(float64(len(gainWin)), 0)
+}
+
+// mergeMultipathRays collapses candidate users that are resolvable rays of
+// one transmitter. A multipath echo delayed by whole samples dechirps into
+// a tone with the SAME fractional offset as the direct ray, a small integer
+// number of bins away (chirps resolve delay like radar). Two genuinely
+// different transmitters in that configuration would be untrackable anyway
+// — their fingerprints coincide — so the strongest ray wins either way.
+// users must arrive sorted strongest-first.
+func (d *Decoder) mergeMultipathRays(users []userEstimate) []userEstimate {
+	const maxRaySpreadBins = 4.0
+	out := users[:0]
+	for _, u := range users {
+		uFrac := u.offset - math.Floor(u.offset)
+		absorbed := false
+		for _, kept := range out {
+			kFrac := kept.offset - math.Floor(kept.offset)
+			if math.Abs(dsp.FracDiff(uFrac, kFrac)) < d.cfg.MatchTolerance/2 &&
+				dsp.CircularBinDist(u.offset, kept.offset, float64(d.n)) <= maxRaySpreadBins {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// validateCandidates weeds out candidate offsets that are artifacts of a
+// stronger user's sub-sample timing offset. A fractionally-delayed chirp
+// dechirps into a two-segment tone whose short segment is a broad sinc that
+// throws spurious peaks several bins around the true one; those peaks repeat
+// across preamble windows and so survive the consistency vote. Fitting and
+// subtracting candidates strongest-first with the exact two-segment model
+// makes such ghosts collapse: whatever explained energy remains for a
+// candidate after the stronger ones are removed is genuine.
+func (d *Decoder) validateCandidates(wins [][]complex128, coarse []float64) []float64 {
+	if len(coarse) <= 1 {
+		return coarse
+	}
+	// Use up to three windows spread across the preamble for the vote.
+	probe := []int{0, len(wins) / 2, len(wins) - 1}
+	power := make([]float64, len(coarse))
+	for _, w := range probe {
+		resid := append([]complex128(nil), wins[w]...)
+		for i, f := range coarse {
+			// The coarse peak position is biased by the candidate's own
+			// segment structure; refine it so the subtraction is complete
+			// enough (< -25 dB residue) for ghosts to collapse.
+			fRef, h1, h2, i0 := d.segmentFitRefined(resid, f)
+			p1 := real(h1)*real(h1) + imag(h1)*imag(h1)
+			p2 := real(h2)*real(h2) + imag(h2)*imag(h2)
+			power[i] += (p1*float64(i0) + p2*float64(d.n-i0)) / float64(d.n)
+			d.subtractSegments(resid, fRef, h1, h2, i0)
+		}
+	}
+	floor := power[0] * math.Pow(10, -d.cfg.TotalDynamicRangeDB/10)
+	// Ghosts of the strongest user collapse by orders of magnitude once it
+	// is subtracted; real users within the phase's dynamic range do not.
+	relCut := math.Pow(10, -(d.cfg.DynamicRangeDB+6)/10)
+	out := coarse[:0]
+	for i, f := range coarse {
+		if i > 0 && (power[i] < floor || power[i] < power[0]*relCut) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// subtractUsers removes every estimated user's reconstruction from each
+// dechirped preamble window. A fractionally-delayed chirp is not a pure tone
+// after dechirping: the transmitter's symbol boundary falls inside the
+// receiver window and introduces a constant phase jump of 2π·frac(δ) there,
+// splitting the window into two tone segments at the same frequency. A
+// single-tone subtraction would leave ~|1−e^{j2πfrac(δ)}|²·L/N of the user's
+// energy behind — enough for its broad sinc to masquerade as ghost users in
+// the next SIC phase. We therefore fit a two-segment model per user (two
+// complex gains around an estimated boundary) and subtract that, iterating
+// users so each fit sees the others removed.
+func (d *Decoder) subtractUsers(wins [][]complex128, users []userEstimate) {
+	type segModel struct {
+		f      float64
+		h1, h2 complex128
+		i0     int
+	}
+	for _, dech := range wins {
+		models := make([]segModel, len(users))
+		// Initialize from a joint single-tone fit.
+		offs := make([]float64, len(users))
+		for i, u := range users {
+			offs[i] = u.offset
+		}
+		hs := d.fitChannels(dech, offs)
+		for i := range models {
+			models[i] = segModel{f: offs[i], h1: hs[i], h2: hs[i], i0: 0}
+		}
+		residual := append([]complex128(nil), dech...)
+		for i := range models {
+			d.subtractSegments(residual, models[i].f, models[i].h1, models[i].h2, models[i].i0)
+		}
+		// Two refinement sweeps: re-fit each user against the signal with
+		// all other users removed.
+		for sweep := 0; sweep < 2; sweep++ {
+			for i := range models {
+				// Add this user's current model back.
+				d.addSegments(residual, models[i].f, models[i].h1, models[i].h2, models[i].i0)
+				h1, h2, i0 := segmentFit(residual, models[i].f/float64(d.n))
+				models[i].h1, models[i].h2, models[i].i0 = h1, h2, i0
+				d.subtractSegments(residual, models[i].f, h1, h2, i0)
+			}
+		}
+		copy(dech, residual)
+	}
+}
+
+// segmentFitRefined golden-searches the tone frequency within ±0.5 bin of
+// fBins for the two-segment fit that explains the most energy, returning the
+// refined frequency and its fit.
+func (d *Decoder) segmentFitRefined(x []complex128, fBins float64) (float64, complex128, complex128, int) {
+	explained := func(f float64) float64 {
+		h1, h2, i0 := segmentFit(x, f/float64(d.n))
+		p1 := real(h1)*real(h1) + imag(h1)*imag(h1)
+		p2 := real(h2)*real(h2) + imag(h2)*imag(h2)
+		return p1*float64(i0) + p2*float64(d.n-i0)
+	}
+	const phi = 0.6180339887498949
+	a, b := fBins-0.5, fBins+0.5
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := explained(x1), explained(x2)
+	for i := 0; i < d.cfg.FineIters; i++ {
+		if f1 > f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = explained(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = explained(x2)
+		}
+	}
+	best := (a + b) / 2
+	h1, h2, i0 := segmentFit(x, best/float64(d.n))
+	return best, h1, h2, i0
+}
+
+// segmentFit fits the two-segment tone model h₁·e^{j2πfn} (n < i0) plus
+// h₂·e^{j2πfn} (n >= i0) to x, choosing the boundary i0 that maximizes the
+// explained energy. Thanks to prefix sums the search over all boundaries is
+// O(len(x)). f is in cycles per sample.
+func segmentFit(x []complex128, f float64) (h1, h2 complex128, i0 int) {
+	n := len(x)
+	// prefix[i] = Σ_{k<i} x[k]·e^{-j2πfk}
+	prefix := make([]complex128, n+1)
+	for k := 0; k < n; k++ {
+		s, c := math.Sincos(-2 * math.Pi * f * float64(k))
+		prefix[k+1] = prefix[k] + x[k]*complex(c, s)
+	}
+	total := prefix[n]
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		var score float64
+		if i > 0 {
+			p := prefix[i]
+			score += (real(p)*real(p) + imag(p)*imag(p)) / float64(i)
+		}
+		if i < n {
+			s := total - prefix[i]
+			score += (real(s)*real(s) + imag(s)*imag(s)) / float64(n-i)
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	i0 = best
+	if i0 > 0 {
+		h1 = prefix[i0] / complex(float64(i0), 0)
+	}
+	if i0 < n {
+		h2 = (total - prefix[i0]) / complex(float64(n-i0), 0)
+	}
+	return h1, h2, i0
+}
+
+// subtractSegments removes the two-segment tone model from x in place.
+// f is in bins; the boundary index splits the h1 and h2 regions.
+func (d *Decoder) subtractSegments(x []complex128, fBins float64, h1, h2 complex128, i0 int) {
+	f := fBins / float64(d.n)
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * f * float64(i))
+		tone := complex(c, s)
+		if i < i0 {
+			x[i] -= h1 * tone
+		} else {
+			x[i] -= h2 * tone
+		}
+	}
+}
+
+// addSegments re-adds a previously subtracted two-segment model.
+func (d *Decoder) addSegments(x []complex128, fBins float64, h1, h2 complex128, i0 int) {
+	f := fBins / float64(d.n)
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * f * float64(i))
+		tone := complex(c, s)
+		if i < i0 {
+			x[i] += h1 * tone
+		} else {
+			x[i] += h2 * tone
+		}
+	}
+}
+
+// subtractTone removes h·e^{j2πfn} from x in place (f in cycles/sample).
+func subtractTone(x []complex128, f float64, h complex128) {
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * f * float64(i))
+		x[i] -= h * complex(c, s)
+	}
+}
+
+// fitChannels solves the least-squares channel fit of Eqn. 2 for the given
+// offsets (in bins) against one dechirped window.
+func (d *Decoder) fitChannels(dech []complex128, offsets []float64) []complex128 {
+	k := len(offsets)
+	if k == 0 {
+		return nil
+	}
+	e := linalg.NewMatrix(d.n, k)
+	for j, f := range offsets {
+		cyc := f / float64(d.n)
+		for i := 0; i < d.n; i++ {
+			s, c := math.Sincos(2 * math.Pi * cyc * float64(i))
+			e.Set(i, j, complex(c, s))
+		}
+	}
+	hs, err := linalg.LeastSquares(e, dech)
+	if err != nil {
+		// Nearly identical offsets: fall back to independent matched
+		// filters; leakage stays, but decoding can proceed.
+		hs = make([]complex128, k)
+		for j, f := range offsets {
+			hs[j] = matchedFilter(dech, f/float64(d.n))
+		}
+	}
+	return hs
+}
+
+// matchedFilter correlates x with a unit tone at f cycles/sample.
+func matchedFilter(x []complex128, f float64) complex128 {
+	var sum complex128
+	for i, v := range x {
+		s, c := math.Sincos(-2 * math.Pi * f * float64(i))
+		sum += v * complex(c, s)
+	}
+	return sum / complex(float64(len(x)), 0)
+}
+
+// residual computes R(f₁..f_k) of Eqn. 3: the energy left after subtracting
+// the least-squares reconstruction at the hypothesized offsets.
+func (d *Decoder) residual(dech []complex128, offsets []float64) float64 {
+	hs := d.fitChannels(dech, offsets)
+	var res float64
+	for i, v := range dech {
+		var model complex128
+		for j, f := range offsets {
+			s, c := math.Sincos(2 * math.Pi * f / float64(d.n) * float64(i))
+			model += hs[j] * complex(c, s)
+		}
+		diff := v - model
+		res += real(diff)*real(diff) + imag(diff)*imag(diff)
+	}
+	return res
+}
+
+// refineOffsets refines each user's offset to a small fraction of a bin by
+// alternating per-user two-segment fits against the residual with all other
+// users subtracted (the leakage modelling of Sec. 5.1, extended with the
+// segment split a fractional timing offset imposes), golden-searching each
+// user's frequency within ±0.5 bin of its coarse estimate. It returns the
+// refined offsets, each user's dominant-segment channel, and each user's
+// estimated segment boundary (the sample index within the window where its
+// symbol edge falls).
+func (d *Decoder) refineOffsets(dech []complex128, coarse []float64) ([]float64, []complex128, []int) {
+	offs := append([]float64(nil), coarse...)
+	k := len(offs)
+	type segModel struct {
+		h1, h2 complex128
+		i0     int
+	}
+	models := make([]segModel, k)
+	joint := d.fitChannels(dech, offs)
+	residual := append([]complex128(nil), dech...)
+	for i := 0; i < k; i++ {
+		models[i] = segModel{h1: joint[i], h2: joint[i], i0: 0}
+		d.subtractSegments(residual, offs[i], joint[i], joint[i], 0)
+	}
+	const sweeps = 2
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < k; i++ {
+			d.addSegments(residual, offs[i], models[i].h1, models[i].h2, models[i].i0)
+			f, h1, h2, i0 := d.segmentFitRefined(residual, offs[i])
+			offs[i] = f
+			models[i] = segModel{h1: h1, h2: h2, i0: i0}
+			d.subtractSegments(residual, f, h1, h2, i0)
+		}
+	}
+	hs := make([]complex128, k)
+	i0s := make([]int, k)
+	for i := 0; i < k; i++ {
+		// Report the longer segment's channel: it carries the symbol
+		// aligned with this window.
+		if models[i].i0 > d.n/2 {
+			hs[i] = models[i].h1
+		} else {
+			hs[i] = models[i].h2
+		}
+		i0s[i] = models[i].i0
+	}
+	return offs, hs, i0s
+}
+
+// goldenSection minimizes the residual as a function of offsets[j] over
+// [lo, hi] with the other offsets fixed.
+func (d *Decoder) goldenSection(dech []complex128, offsets []float64, j int, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	eval := func(f float64) float64 {
+		old := offsets[j]
+		offsets[j] = f
+		r := d.residual(dech, offsets)
+		offsets[j] = old
+		return r
+	}
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := eval(x1), eval(x2)
+	for i := 0; i < d.cfg.FineIters; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = eval(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = eval(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// circularMean averages angles expressed as bin positions on a circle of the
+// given period.
+func circularMean(bins []float64, period float64) float64 {
+	if len(bins) == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for _, b := range bins {
+		s, c := math.Sincos(2 * math.Pi * b / period)
+		sx += c
+		sy += s
+	}
+	ang := math.Atan2(sy, sx)
+	if ang < 0 {
+		ang += 2 * math.Pi
+	}
+	return ang / (2 * math.Pi) * period
+}

@@ -1,0 +1,289 @@
+// Package cluster implements semi-supervised constrained clustering in the
+// style of HMRF k-means (Basu, Bilenko, Mooney, KDD 2004), which the Choir
+// decoder uses to map spectrum peaks to users across symbols (paper
+// Sec. 6.2). Points are feature vectors (fractional frequency offset mapped
+// onto the unit circle, channel magnitude, channel phase); constraints
+// encode prior knowledge such as "two peaks within one symbol belong to
+// different users" (cannot-link).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Point is one observation to cluster.
+type Point struct {
+	// Features is the feature vector; all points must agree on length.
+	Features []float64
+	// Weight scales this point's pull on its centroid (e.g. peak magnitude).
+	// Zero or negative weights are treated as 1.
+	Weight float64
+}
+
+// Constraints carries pairwise supervision. Indices refer to the point slice
+// passed to Cluster.
+type Constraints struct {
+	// CannotLink pairs must end up in different clusters.
+	CannotLink [][2]int
+	// MustLink pairs should end up in the same cluster.
+	MustLink [][2]int
+}
+
+// Config tunes the optimizer.
+type Config struct {
+	// MaxIter bounds the assign/update iterations (default 50).
+	MaxIter int
+	// Penalty is the cost of violating one constraint, in squared-distance
+	// units (default: 4× the mean pairwise distance, computed per run).
+	Penalty float64
+	// Restarts runs the whole optimization multiple times with different
+	// seedings and keeps the lowest-objective result (default 4).
+	Restarts int
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Assign maps each point index to a cluster in [0, K).
+	Assign []int
+	// Centroids are the final cluster centres.
+	Centroids [][]float64
+	// Objective is the final HMRF objective (weighted squared distances plus
+	// constraint penalties).
+	Objective float64
+	// Violations counts violated constraints in the final assignment.
+	Violations int
+}
+
+// Cluster partitions points into k clusters honouring the constraints as
+// far as the penalty allows, returning the best result across restarts.
+// It returns an error for invalid inputs (k <= 0, k > len(points),
+// inconsistent feature lengths, or out-of-range constraint indices).
+func Cluster(points []Point, k int, cons Constraints, cfg Config, rng *rand.Rand) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k=%d must be positive", k)
+	}
+	if len(points) < k {
+		return nil, fmt.Errorf("cluster: %d points cannot fill %d clusters", len(points), k)
+	}
+	dim := len(points[0].Features)
+	for i, p := range points {
+		if len(p.Features) != dim {
+			return nil, fmt.Errorf("cluster: point %d has %d features, want %d", i, len(p.Features), dim)
+		}
+	}
+	for _, c := range append(append([][2]int{}, cons.CannotLink...), cons.MustLink...) {
+		for _, idx := range []int{c[0], c[1]} {
+			if idx < 0 || idx >= len(points) {
+				return nil, fmt.Errorf("cluster: constraint index %d out of range", idx)
+			}
+		}
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	if cfg.Penalty <= 0 {
+		cfg.Penalty = defaultPenalty(points)
+	}
+
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := run(points, k, cons, cfg, rng)
+		if best == nil || res.Objective < best.Objective {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// defaultPenalty scales the constraint penalty to the data spread.
+func defaultPenalty(points []Point) float64 {
+	if len(points) < 2 {
+		return 1
+	}
+	var sum float64
+	n := 0
+	step := len(points)/32 + 1
+	for i := 0; i < len(points); i += step {
+		for j := i + 1; j < len(points); j += step {
+			sum += sqDist(points[i].Features, points[j].Features)
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return 4 * sum / float64(n)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func weight(p Point) float64 {
+	if p.Weight > 0 {
+		return p.Weight
+	}
+	return 1
+}
+
+// run performs one seeded optimization: k-means++ init followed by ICM-style
+// constrained assignment and centroid updates.
+func run(points []Point, k int, cons Constraints, cfg Config, rng *rand.Rand) *Result {
+	dim := len(points[0].Features)
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	// Adjacency for fast constraint lookup.
+	cannot := pairIndex(cons.CannotLink)
+	must := pairIndex(cons.MustLink)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			bestC, bestCost := -1, math.Inf(1)
+			for c := 0; c < k; c++ {
+				cost := weight(p) * sqDist(p.Features, centroids[c])
+				for _, j := range cannot[i] {
+					if assign[j] == c {
+						cost += cfg.Penalty
+					}
+				}
+				for _, j := range must[i] {
+					if assign[j] >= 0 && assign[j] != c {
+						cost += cfg.Penalty
+					}
+				}
+				if cost < bestCost {
+					bestC, bestCost = c, cost
+				}
+			}
+			if bestC != assign[i] {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		// Update centroids.
+		sums := make([][]float64, k)
+		wsum := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			w := weight(p)
+			wsum[c] += w
+			for d, f := range p.Features {
+				sums[c][d] += w * f
+			}
+		}
+		for c := 0; c < k; c++ {
+			if wsum[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its centroid.
+				centroids[c] = points[farthestPoint(points, centroids, assign)].Features
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / wsum[c]
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	res := &Result{Assign: assign, Centroids: centroids}
+	for i, p := range points {
+		res.Objective += weight(p) * sqDist(p.Features, centroids[assign[i]])
+	}
+	for _, c := range cons.CannotLink {
+		if assign[c[0]] == assign[c[1]] {
+			res.Objective += cfg.Penalty
+			res.Violations++
+		}
+	}
+	for _, c := range cons.MustLink {
+		if assign[c[0]] != assign[c[1]] {
+			res.Objective += cfg.Penalty
+			res.Violations++
+		}
+	}
+	return res
+}
+
+func pairIndex(pairs [][2]int) map[int][]int {
+	idx := map[int][]int{}
+	for _, p := range pairs {
+		idx[p[0]] = append(idx[p[0]], p[1])
+		idx[p[1]] = append(idx[p[1]], p[0])
+	}
+	return idx
+}
+
+func farthestPoint(points []Point, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		d := sqDist(p.Features, centroids[assign[i]])
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ weighting.
+func seedPlusPlus(points []Point, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.IntN(len(points))].Features
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p.Features, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.IntN(len(points))
+		} else {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick].Features...))
+	}
+	return centroids
+}
+
+// CircleFeatures maps a fractional value in [0,1) to a (cos, sin) pair so
+// that euclidean distance respects the circular topology of fractional
+// frequency offsets (0.99 is close to 0.01). radius scales the feature's
+// influence relative to other features.
+func CircleFeatures(frac, radius float64) (float64, float64) {
+	s, c := math.Sincos(2 * math.Pi * frac)
+	return radius * c, radius * s
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// makeBlobs generates k well-separated Gaussian blobs of n points each and
+// returns the points plus ground-truth labels.
+func makeBlobs(rng *rand.Rand, k, n int, sep, sigma float64) ([]Point, []int) {
+	var pts []Point
+	var labels []int
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c)*sep, float64(c%2)*sep
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{Features: []float64{
+				cx + rng.NormFloat64()*sigma,
+				cy + rng.NormFloat64()*sigma,
+			}})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+// agreement computes the best-case label agreement between two assignments
+// via greedy cluster matching (sufficient for well-separated test blobs).
+func agreement(got, want []int, k int) float64 {
+	// Build confusion counts.
+	conf := make([][]int, k)
+	for i := range conf {
+		conf[i] = make([]int, k)
+	}
+	for i := range got {
+		conf[got[i]][want[i]]++
+	}
+	used := make([]bool, k)
+	match := 0
+	for g := 0; g < k; g++ {
+		best, bestC := -1, -1
+		for w := 0; w < k; w++ {
+			if !used[w] && conf[g][w] > best {
+				best, bestC = conf[g][w], w
+			}
+		}
+		if bestC >= 0 {
+			used[bestC] = true
+			match += conf[g][bestC]
+		}
+	}
+	return float64(match) / float64(len(got))
+}
+
+func TestClusterSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts, labels := makeBlobs(rng, 3, 40, 10, 0.5)
+	res, err := Cluster(pts, 3, Constraints{}, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := agreement(res.Assign, labels, 3); acc < 0.99 {
+		t.Errorf("accuracy %.3f on trivially separable blobs", acc)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d with no constraints", res.Violations)
+	}
+}
+
+func TestCannotLinkSeparatesOverlappingPoints(t *testing.T) {
+	// Two coincident points would land in the same cluster without
+	// supervision; a cannot-link constraint must force them apart.
+	rng := rand.New(rand.NewPCG(2, 2))
+	pts := []Point{
+		{Features: []float64{0, 0}},
+		{Features: []float64{0.01, 0}},
+		{Features: []float64{10, 0}},
+		{Features: []float64{10.01, 0}},
+	}
+	cons := Constraints{CannotLink: [][2]int{{0, 1}, {2, 3}}}
+	res, err := Cluster(pts, 2, cons, Config{Penalty: 1e6, Restarts: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] == res.Assign[1] {
+		t.Errorf("cannot-link pair 0,1 co-clustered: %v", res.Assign)
+	}
+	if res.Assign[2] == res.Assign[3] {
+		t.Errorf("cannot-link pair 2,3 co-clustered: %v", res.Assign)
+	}
+}
+
+func TestMustLinkPullsPointsTogether(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// Point 2 sits slightly nearer cluster B, but a must-link to point 0
+	// (firmly in A) should override.
+	pts := []Point{
+		{Features: []float64{0, 0}},
+		{Features: []float64{0.2, 0}},
+		{Features: []float64{5.4, 0}},
+		{Features: []float64{10, 0}},
+		{Features: []float64{9.8, 0}},
+	}
+	cons := Constraints{MustLink: [][2]int{{0, 2}}}
+	res, err := Cluster(pts, 2, cons, Config{Penalty: 1e6, Restarts: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[2] {
+		t.Errorf("must-link pair split: %v", res.Assign)
+	}
+}
+
+func TestClusterInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	pts := []Point{{Features: []float64{0}}, {Features: []float64{1}}}
+	if _, err := Cluster(pts, 0, Constraints{}, Config{}, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(pts, 3, Constraints{}, Config{}, rng); err == nil {
+		t.Error("k > len(points) accepted")
+	}
+	ragged := []Point{{Features: []float64{0}}, {Features: []float64{1, 2}}}
+	if _, err := Cluster(ragged, 2, Constraints{}, Config{}, rng); err == nil {
+		t.Error("ragged features accepted")
+	}
+	bad := Constraints{CannotLink: [][2]int{{0, 9}}}
+	if _, err := Cluster(pts, 2, bad, Config{}, rng); err == nil {
+		t.Error("out-of-range constraint accepted")
+	}
+}
+
+func TestWeightsBiasCentroids(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	// One heavy point and several light ones: the centroid of its cluster
+	// must sit near the heavy point.
+	pts := []Point{
+		{Features: []float64{0}, Weight: 100},
+		{Features: []float64{1}, Weight: 0.01},
+		{Features: []float64{20}},
+		{Features: []float64{21}},
+	}
+	res, err := Cluster(pts, 2, Constraints{}, Config{Restarts: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Centroids[res.Assign[0]][0]
+	if math.Abs(c) > 0.1 {
+		t.Errorf("heavy point's centroid at %g, want ~0", c)
+	}
+}
+
+func TestAssignmentsAlwaysInRangeProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 6))
+		n := 5 + int(seed%20)
+		k := 2 + int(seed%3)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Features: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+		}
+		res, err := Cluster(pts, k, Constraints{}, Config{}, rng)
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return len(res.Centroids) == k
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircleFeaturesWraparound(t *testing.T) {
+	// 0.99 and 0.01 must be near each other; 0.5 must be far from both.
+	ax, ay := CircleFeatures(0.99, 1)
+	bx, by := CircleFeatures(0.01, 1)
+	cx, cy := CircleFeatures(0.5, 1)
+	near := math.Hypot(ax-bx, ay-by)
+	far := math.Hypot(ax-cx, ay-cy)
+	if near > 0.2 {
+		t.Errorf("wraparound distance %g too large", near)
+	}
+	if far < 1.5 {
+		t.Errorf("antipodal distance %g too small", far)
+	}
+	// Radius scales the embedding.
+	rx, ry := CircleFeatures(0.25, 3)
+	if math.Abs(math.Hypot(rx, ry)-3) > 1e-12 {
+		t.Errorf("radius not respected: %g", math.Hypot(rx, ry))
+	}
+}
+
+func TestClusterFractionalOffsetsLikeDecoder(t *testing.T) {
+	// Simulate the decoder's use: peaks from 3 users over 20 symbols,
+	// fractional offsets 0.1, 0.45, 0.8 with small estimation noise, with
+	// cannot-link between same-symbol peaks.
+	rng := rand.New(rand.NewPCG(7, 7))
+	fracs := []float64{0.1, 0.45, 0.8}
+	var pts []Point
+	var truth []int
+	var cons Constraints
+	for sym := 0; sym < 20; sym++ {
+		base := len(pts)
+		for u, f := range fracs {
+			noisy := math.Mod(f+rng.NormFloat64()*0.02+1, 1)
+			x, y := CircleFeatures(noisy, 1)
+			pts = append(pts, Point{Features: []float64{x, y}})
+			truth = append(truth, u)
+			for prev := base; prev < len(pts)-1; prev++ {
+				cons.CannotLink = append(cons.CannotLink, [2]int{prev, len(pts) - 1})
+			}
+		}
+	}
+	res, err := Cluster(pts, 3, cons, Config{Restarts: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := agreement(res.Assign, truth, 3); acc < 0.98 {
+		t.Errorf("decoder-style clustering accuracy %.3f", acc)
+	}
+	if res.Violations > 0 {
+		t.Errorf("%d cannot-link violations", res.Violations)
+	}
+}

@@ -1,0 +1,187 @@
+// Package dsp provides the complex digital-signal-processing substrate used
+// by the LoRa PHY and the Choir collision decoder: fast Fourier transforms,
+// zero-padded spectra, window functions, peak detection and interpolation,
+// fractional delays and frequency shifts.
+//
+// Everything operates on []complex128 baseband IQ samples, critically sampled
+// (sample rate == signal bandwidth) unless stated otherwise. The package is
+// pure Go with no dependencies beyond the standard library.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two >= n. It panics if n <= 0 or if
+// the result would overflow an int.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsp: NextPow2 of non-positive %d", n))
+	}
+	if n&(n-1) == 0 {
+		return n
+	}
+	shift := bits.Len(uint(n))
+	if shift >= bits.UintSize-1 {
+		panic(fmt.Sprintf("dsp: NextPow2 of %d overflows", n))
+	}
+	return 1 << shift
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddleCache memoizes per-size twiddle-factor tables for the radix-2
+// transform. FFT sizes used by the decoder are few (one per spreading factor
+// and padding level), so the cache stays tiny. The cache is not safe for
+// concurrent mutation; callers that share an FFT across goroutines should use
+// NewFFT once and call Transform, which is read-only after construction.
+type FFT struct {
+	n       int
+	logn    int
+	forward []complex128 // e^{-2πi k/n} for k in [0, n/2)
+	inverse []complex128 // e^{+2πi k/n}
+	rev     []int        // bit-reversal permutation
+}
+
+// NewFFT precomputes tables for transforms of length n, which must be a
+// power of two.
+func NewFFT(n int) *FFT {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	f := &FFT{
+		n:       n,
+		logn:    bits.TrailingZeros(uint(n)),
+		forward: make([]complex128, n/2),
+		inverse: make([]complex128, n/2),
+		rev:     make([]int, n),
+	}
+	for k := 0; k < n/2; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		f.forward[k] = complex(c, s)
+		f.inverse[k] = complex(c, -s)
+	}
+	for i := 0; i < n; i++ {
+		f.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - f.logn))
+	}
+	return f
+}
+
+// Len returns the transform length.
+func (f *FFT) Len() int { return f.n }
+
+// Transform computes the DFT of src into dst (allocated if nil or wrong
+// length) and returns dst. src is not modified. The transform is unscaled:
+// Transform followed by InverseTransform multiplies by Len().
+func (f *FFT) Transform(dst, src []complex128) []complex128 {
+	return f.transform(dst, src, f.forward)
+}
+
+// InverseTransform computes the unscaled inverse DFT of src into dst.
+// Divide by Len() to invert Transform exactly.
+func (f *FFT) InverseTransform(dst, src []complex128) []complex128 {
+	return f.transform(dst, src, f.inverse)
+}
+
+func (f *FFT) transform(dst, src, tw []complex128) []complex128 {
+	if len(src) != f.n {
+		panic(fmt.Sprintf("dsp: FFT input length %d != size %d", len(src), f.n))
+	}
+	if len(dst) != f.n {
+		dst = make([]complex128, f.n)
+	}
+	if &dst[0] == &src[0] {
+		// In-place: permute via cycle swaps.
+		for i, j := range f.rev {
+			if i < j {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	} else {
+		for i, j := range f.rev {
+			dst[i] = src[j]
+		}
+	}
+	for size := 2; size <= f.n; size <<= 1 {
+		half := size >> 1
+		step := f.n / size
+		for start := 0; start < f.n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				w := tw[k]
+				a, b := dst[i], dst[i+half]*w
+				dst[i], dst[i+half] = a+b, a-b
+				k += step
+			}
+		}
+	}
+	return dst
+}
+
+// Forward computes the DFT of x, padding with zeros to the next power of two
+// when len(x) is not one. It is a convenience wrapper; hot paths should hold
+// an *FFT and reuse buffers.
+func Forward(x []complex128) []complex128 {
+	n := NextPow2(len(x))
+	in := x
+	if n != len(x) {
+		in = make([]complex128, n)
+		copy(in, x)
+	}
+	return NewFFT(n).Transform(nil, in)
+}
+
+// Inverse computes the scaled inverse DFT of x (len(x) must be a power of
+// two), so that Inverse(Forward(x)) == x up to rounding.
+func Inverse(x []complex128) []complex128 {
+	f := NewFFT(len(x))
+	out := f.InverseTransform(nil, x)
+	scale := complex(1/float64(len(x)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// PaddedSpectrum returns the magnitude spectrum of x zero-padded to
+// pad*len(x) rounded up to a power of two. Zero-padding interpolates the
+// spectrum so that peaks that fall between bins of the natural transform
+// become resolvable — the mechanism Choir uses to read fractional frequency
+// offsets (Sec. 5.1 of the paper). The returned slice has length
+// NextPow2(pad*len(x)); bin b corresponds to frequency b/pad (in natural
+// bins of the unpadded transform).
+func PaddedSpectrum(x []complex128, pad int) []float64 {
+	if pad < 1 {
+		panic(fmt.Sprintf("dsp: padding factor %d < 1", pad))
+	}
+	n := NextPow2(pad * len(x))
+	in := make([]complex128, n)
+	copy(in, x)
+	out := NewFFT(n).Transform(nil, in)
+	mag := make([]float64, n)
+	for i, v := range out {
+		mag[i] = cmplx.Abs(v)
+	}
+	return mag
+}
+
+// Energy returns the total energy (sum of |x|²) of the signal.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// Power returns the mean power (energy per sample) of the signal.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}

@@ -1,0 +1,155 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Peak describes a local maximum in a (typically zero-padded) magnitude
+// spectrum. Bin is expressed in natural bins of the unpadded transform, so a
+// peak between bins carries a fractional part — the quantity Choir uses to
+// tell users apart.
+type Peak struct {
+	// Bin is the interpolated peak location in natural (unpadded) FFT bins.
+	Bin float64
+	// Mag is the spectrum magnitude at the peak.
+	Mag float64
+}
+
+// FracBin returns the fractional part of the peak location in [0, 1).
+func (p Peak) FracBin() float64 {
+	f := p.Bin - math.Floor(p.Bin)
+	if f < 0 {
+		f += 1
+	}
+	return f
+}
+
+// String implements fmt.Stringer.
+func (p Peak) String() string { return fmt.Sprintf("peak(bin=%.3f, mag=%.3g)", p.Bin, p.Mag) }
+
+// PeakConfig controls FindPeaks.
+type PeakConfig struct {
+	// Pad is the zero-padding factor of the spectrum relative to the natural
+	// transform size (spectrum length / natural size). Must be >= 1.
+	Pad int
+	// MinSeparation is the minimum distance between reported peaks in natural
+	// bins; the stronger peak wins within that distance. This suppresses the
+	// sinc side lobes of a strong peak (which are spaced exactly one natural
+	// bin apart) from masquerading as users. A value just under 1.0 is
+	// appropriate for dechirped LoRa symbols.
+	MinSeparation float64
+	// Threshold is the minimum magnitude for a reported peak, in absolute
+	// spectrum units. Callers usually set it to a multiple of the estimated
+	// noise floor (see NoiseFloor).
+	Threshold float64
+	// Max limits the number of reported peaks (0 means unlimited).
+	Max int
+}
+
+// FindPeaks locates local maxima of spectrum that clear cfg.Threshold,
+// enforcing cfg.MinSeparation, strongest first. Peak positions are refined by
+// quadratic interpolation over the padded grid and reported in natural bins.
+// The spectrum is treated as circular (bin 0 adjoins the last bin), matching
+// the aliasing of dechirped chirps.
+func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
+	if cfg.Pad < 1 {
+		panic(fmt.Sprintf("dsp: FindPeaks pad %d < 1", cfg.Pad))
+	}
+	n := len(spectrum)
+	if n == 0 {
+		return nil
+	}
+	var cands []Peak
+	for i := 0; i < n; i++ {
+		prev := spectrum[(i-1+n)%n]
+		next := spectrum[(i+1)%n]
+		v := spectrum[i]
+		if v < cfg.Threshold || v < prev || v <= next {
+			continue
+		}
+		// Quadratic (parabolic) interpolation around the padded-grid maximum.
+		delta := 0.0
+		den := prev - 2*v + next
+		if den != 0 {
+			delta = 0.5 * (prev - next) / den
+			if delta > 0.5 {
+				delta = 0.5
+			} else if delta < -0.5 {
+				delta = -0.5
+			}
+		}
+		interpMag := v - 0.25*(prev-next)*delta
+		cands = append(cands, Peak{
+			Bin: (float64(i) + delta) / float64(cfg.Pad),
+			Mag: interpMag,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Mag > cands[j].Mag })
+
+	natural := float64(n) / float64(cfg.Pad)
+	var out []Peak
+	for _, c := range cands {
+		ok := true
+		for _, kept := range out {
+			if circularDist(c.Bin, kept.Bin, natural) < cfg.MinSeparation {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, c)
+		if cfg.Max > 0 && len(out) >= cfg.Max {
+			break
+		}
+	}
+	return out
+}
+
+// circularDist returns the distance between bins a and b on a circle of the
+// given period.
+func circularDist(a, b, period float64) float64 {
+	d := math.Mod(math.Abs(a-b), period)
+	if d > period/2 {
+		d = period - d
+	}
+	return d
+}
+
+// CircularBinDist returns the circular distance between two bin positions for
+// a transform with period natural bins. Exported for decoder use.
+func CircularBinDist(a, b, period float64) float64 { return circularDist(a, b, period) }
+
+// NoiseFloor estimates the noise floor of a magnitude spectrum as the median
+// magnitude. The median is robust to a handful of strong peaks: even with
+// tens of colliding users the peak bins are a vanishing fraction of a padded
+// spectrum.
+func NoiseFloor(spectrum []float64) float64 {
+	if len(spectrum) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), spectrum...)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return 0.5 * (tmp[mid-1] + tmp[mid])
+}
+
+// FracDiff returns the signed smallest difference between two fractional bin
+// values a and b, each in [0,1), accounting for wraparound: the result is in
+// [-0.5, 0.5).
+func FracDiff(a, b float64) float64 {
+	d := a - b
+	for d >= 0.5 {
+		d -= 1
+	}
+	for d < -0.5 {
+		d += 1
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindPeaksTwoTones(t *testing.T) {
+	const n, pad = 256, 16
+	x := Tone(nil, n, 40.3/n, 0)
+	y := Tone(nil, n, 90.7/n, 1.0)
+	Scale(y, 0.5)
+	Add(x, y)
+	spec := PaddedSpectrum(x, pad)
+	peaks := FindPeaks(spec, PeakConfig{Pad: pad, MinSeparation: 0.9, Threshold: NoiseFloor(spec) * 4, Max: 4})
+	if len(peaks) < 2 {
+		t.Fatalf("found %d peaks, want >= 2: %v", len(peaks), peaks)
+	}
+	// Strongest first.
+	if peaks[0].Mag < peaks[1].Mag {
+		t.Errorf("peaks not sorted by magnitude: %v", peaks[:2])
+	}
+	if math.Abs(peaks[0].Bin-40.3) > 0.1 {
+		t.Errorf("strong peak at %.3f, want 40.3", peaks[0].Bin)
+	}
+	if math.Abs(peaks[1].Bin-90.7) > 0.1 {
+		t.Errorf("weak peak at %.3f, want 90.7", peaks[1].Bin)
+	}
+}
+
+func TestFindPeaksSuppressesSideLobes(t *testing.T) {
+	// A single fractional tone produces sinc side lobes spaced one natural
+	// bin apart; with MinSeparation just under a bin and a sane threshold,
+	// only the main lobe should be reported near the tone.
+	const n, pad = 128, 16
+	x := Tone(nil, n, 33.5/n, 0)
+	spec := PaddedSpectrum(x, pad)
+	peaks := FindPeaks(spec, PeakConfig{Pad: pad, MinSeparation: 0.9, Threshold: 0.3 * float64(n), Max: 0})
+	if len(peaks) == 0 {
+		t.Fatal("no peaks found")
+	}
+	if math.Abs(peaks[0].Bin-33.5) > 0.1 {
+		t.Errorf("main peak at %.3f, want 33.5", peaks[0].Bin)
+	}
+	for _, p := range peaks[1:] {
+		if p.Mag > 0.8*peaks[0].Mag {
+			t.Errorf("side lobe %v too strong relative to main %v", p, peaks[0])
+		}
+	}
+}
+
+func TestFindPeaksRespectsMax(t *testing.T) {
+	const n, pad = 256, 8
+	x := make([]complex128, n)
+	for _, b := range []float64{10, 50, 90, 130, 170} {
+		Add(x, Tone(nil, n, b/n, 0))
+	}
+	spec := PaddedSpectrum(x, pad)
+	peaks := FindPeaks(spec, PeakConfig{Pad: pad, MinSeparation: 0.9, Threshold: 1, Max: 3})
+	if len(peaks) != 3 {
+		t.Fatalf("got %d peaks, want 3", len(peaks))
+	}
+}
+
+func TestFindPeaksEmptyAndThreshold(t *testing.T) {
+	if p := FindPeaks(nil, PeakConfig{Pad: 1}); p != nil {
+		t.Errorf("peaks of empty spectrum: %v", p)
+	}
+	spec := []float64{1, 2, 1, 2, 1}
+	if p := FindPeaks(spec, PeakConfig{Pad: 1, Threshold: 10}); len(p) != 0 {
+		t.Errorf("threshold should suppress all peaks, got %v", p)
+	}
+}
+
+func TestPeakFracBin(t *testing.T) {
+	cases := []struct{ bin, want float64 }{
+		{10.25, 0.25}, {10.0, 0.0}, {0.99, 0.99}, {127.5, 0.5},
+	}
+	for _, c := range cases {
+		p := Peak{Bin: c.bin}
+		if got := p.FracBin(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FracBin(%g) = %g, want %g", c.bin, got, c.want)
+		}
+	}
+}
+
+func TestFracDiffWraps(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0.1, 0.9, 0.2},  // wraps: 0.1 - 0.9 = -0.8 -> +0.2
+		{0.9, 0.1, -0.2}, // wraps the other way
+		{0.5, 0.25, 0.25},
+		{0.0, 0.0, 0.0},
+	}
+	for _, c := range cases {
+		if got := FracDiff(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FracDiff(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFracDiffRangeProperty(t *testing.T) {
+	check := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		d := FracDiff(a, b)
+		return d >= -0.5 && d < 0.5
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircularBinDist(t *testing.T) {
+	if d := CircularBinDist(1, 255, 256); math.Abs(d-2) > 1e-12 {
+		t.Errorf("dist(1,255)=%g, want 2", d)
+	}
+	if d := CircularBinDist(100, 100, 256); d != 0 {
+		t.Errorf("dist(100,100)=%g, want 0", d)
+	}
+}
+
+func TestNoiseFloorRobustToPeaks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	spec := make([]float64, 4096)
+	for i := range spec {
+		spec[i] = math.Abs(rng.NormFloat64())
+	}
+	base := NoiseFloor(spec)
+	// Inject 10 huge peaks; the median should barely move.
+	for i := 0; i < 10; i++ {
+		spec[i*400] = 1e6
+	}
+	after := NoiseFloor(spec)
+	if math.Abs(after-base) > 0.05*base+1e-9 {
+		t.Errorf("noise floor moved from %g to %g after injecting peaks", base, after)
+	}
+}

@@ -1,0 +1,244 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqShiftMovesSpectrum(t *testing.T) {
+	const n = 256
+	x := Tone(nil, n, 30.0/n, 0)
+	y := FreqShift(x, 5.0/n)
+	spec := NewFFT(n).Transform(nil, y)
+	maxK, maxV := 0, 0.0
+	for k, v := range spec {
+		if m := cmplx.Abs(v); m > maxV {
+			maxK, maxV = k, m
+		}
+	}
+	if maxK != 35 {
+		t.Errorf("shifted tone at bin %d, want 35", maxK)
+	}
+}
+
+func TestFreqShiftPreservesEnergyProperty(t *testing.T) {
+	check := func(seed uint64, f float64) bool {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+		f = math.Mod(f, 0.5)
+		rng := rand.New(rand.NewPCG(seed, 11))
+		x := randSignal(rng, 128)
+		y := FreqShift(x, f)
+		return math.Abs(Energy(x)-Energy(y)) < 1e-9*Energy(x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateAndScale(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	Rotate(x, math.Pi) // multiply by -1
+	want := []complex128{-1, -2, -3}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("Rotate: x[%d]=%v, want %v", i, x[i], want[i])
+		}
+	}
+	Scale(x, 2i)
+	want = []complex128{-2i, -4i, -6i}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("Scale: x[%d]=%v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestAddSubMulRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	x := randSignal(rng, 64)
+	y := randSignal(rng, 64)
+	orig := append([]complex128(nil), x...)
+	Add(x, y)
+	Sub(x, y)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("Add/Sub roundtrip failed at %d", i)
+		}
+	}
+	ones := make([]complex128, 64)
+	for i := range ones {
+		ones[i] = 1
+	}
+	Mul(x, ones)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("Mul by ones changed sample %d", i)
+		}
+	}
+}
+
+func TestAddPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Add(make([]complex128, 3), make([]complex128, 4))
+}
+
+func TestConjConjugates(t *testing.T) {
+	x := []complex128{1 + 2i, -3 - 4i}
+	c := Conj(x)
+	if c[0] != 1-2i || c[1] != -3+4i {
+		t.Errorf("Conj = %v", c)
+	}
+	// Original untouched.
+	if x[0] != 1+2i {
+		t.Error("Conj modified its input")
+	}
+}
+
+func TestFractionalDelayIntegerMatchesShift(t *testing.T) {
+	// An integer delay of a periodic signal equals a circular shift.
+	const n = 64
+	x := Tone(nil, n, 7.0/n, 0.3)
+	y := FractionalDelay(x, 3)
+	for i := 0; i < n; i++ {
+		want := x[((i-3)%n+n)%n]
+		if cmplx.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("sample %d: got %v want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestFractionalDelayDualityWithFreqShift(t *testing.T) {
+	// The chirp-duality at the heart of Choir: delaying a complex tone by d
+	// samples multiplies it by exp(-j2π f d). Verify the frequency content is
+	// unchanged and the phase rotates as expected.
+	const n = 128
+	freqBin := 10.0
+	x := Tone(nil, n, freqBin/n, 0)
+	d := 0.37
+	y := FractionalDelay(x, d)
+	// y should still be a tone at the same bin with phase -2π*f*d.
+	spec := NewFFT(n).Transform(nil, y)
+	peakPhase := cmplx.Phase(spec[10])
+	wantPhase := -2 * math.Pi * freqBin / n * d
+	diff := math.Mod(peakPhase-wantPhase+3*math.Pi, 2*math.Pi) - math.Pi
+	if math.Abs(diff) > 1e-6 {
+		t.Errorf("phase after delay = %.6f, want %.6f", peakPhase, wantPhase)
+	}
+	if math.Abs(Energy(y)-Energy(x)) > 1e-6*Energy(x) {
+		t.Errorf("fractional delay changed energy: %g -> %g", Energy(x), Energy(y))
+	}
+}
+
+func TestFractionalDelayZeroIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	x := randSignal(rng, 64)
+	y := FractionalDelay(x, 0)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+			t.Fatalf("zero delay altered sample %d", i)
+		}
+	}
+}
+
+func TestHannWindowShape(t *testing.T) {
+	w := Hann(65)
+	if math.Abs(w[0]) > 1e-12 || math.Abs(w[64]) > 1e-12 {
+		t.Errorf("Hann endpoints = %g, %g, want 0", w[0], w[64])
+	}
+	if math.Abs(w[32]-1) > 1e-12 {
+		t.Errorf("Hann midpoint = %g, want 1", w[32])
+	}
+	if w1 := Hann(1); w1[0] != 1 {
+		t.Errorf("Hann(1) = %v, want [1]", w1)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []complex128{2, 2}
+	ApplyWindow(x, []float64{0.5, 1})
+	if x[0] != 1 || x[1] != 2 {
+		t.Errorf("ApplyWindow result %v", x)
+	}
+}
+
+func TestSincValues(t *testing.T) {
+	if Sinc(0) != 1 {
+		t.Error("Sinc(0) != 1")
+	}
+	for _, k := range []float64{1, 2, 3, -4} {
+		if v := Sinc(k); math.Abs(v) > 1e-12 {
+			t.Errorf("Sinc(%g) = %g, want 0", k, v)
+		}
+	}
+}
+
+func TestDirichletMag(t *testing.T) {
+	const n = 64
+	if v := DirichletMag(0, n); math.Abs(v-n) > 1e-9 {
+		t.Errorf("DirichletMag(0) = %g, want %d", v, n)
+	}
+	// Zeros at integer offsets (other than multiples of n).
+	for _, k := range []float64{1, 2, 10} {
+		if v := DirichletMag(k, n); math.Abs(v) > 1e-9 {
+			t.Errorf("DirichletMag(%g) = %g, want 0", k, v)
+		}
+	}
+	// Matches actual FFT leakage of a fractional tone.
+	off := 0.3
+	x := Tone(nil, n, off/n, 0)
+	spec := NewFFT(n).Transform(nil, x)
+	for _, bin := range []int{0, 1, 2, 5} {
+		want := DirichletMag(off-float64(bin), n)
+		got := cmplx.Abs(spec[bin])
+		if math.Abs(got-want) > 1e-6*want+1e-9 {
+			t.Errorf("leakage at bin %d: fft=%g model=%g", bin, got, want)
+		}
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %g", m)
+	}
+	if m := Median(xs); m != 2.5 {
+		t.Errorf("Median = %g", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd = %g", m)
+	}
+	if r := RMS([]float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %g", r)
+	}
+	if s := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("StdDev of constant = %g", s)
+	}
+	if p := Percentile(xs, 50); p != 2.5 {
+		t.Errorf("P50 = %g", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 4 {
+		t.Errorf("P100 = %g", p)
+	}
+	cdf := EmpiricalCDF([]float64{2, 1})
+	if len(cdf) != 2 || cdf[0].X != 1 || cdf[0].P != 0.5 || cdf[1].P != 1 {
+		t.Errorf("CDF = %v", cdf)
+	}
+	if d := DB(100); math.Abs(d-20) > 1e-12 {
+		t.Errorf("DB(100) = %g", d)
+	}
+	if r := FromDB(30); math.Abs(r-1000) > 1e-9 {
+		t.Errorf("FromDB(30) = %g", r)
+	}
+}

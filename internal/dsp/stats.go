@@ -1,0 +1,109 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RMS returns the root-mean-square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return 0.5 * (tmp[mid-1] + tmp[mid])
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if p <= 0 {
+		return tmp[0]
+	}
+	if p >= 100 {
+		return tmp[len(tmp)-1]
+	}
+	pos := p / 100 * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // P(value <= X)
+}
+
+// EmpiricalCDF returns the empirical CDF of xs as sorted (value, probability)
+// points. xs is not modified.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	out := make([]CDFPoint, len(tmp))
+	for i, x := range tmp {
+		out[i] = CDFPoint{X: x, P: float64(i+1) / float64(len(tmp))}
+	}
+	return out
+}
+
+// DB converts a linear power ratio to decibels.
+func DB(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }

@@ -1,0 +1,74 @@
+package mac
+
+import "fmt"
+
+// EnergyModel converts MAC-level activity into client energy consumption —
+// the paper's core motivation is a ten-year battery, and its third metric
+// (transmissions per delivered packet, Fig. 8c/f) is a direct proxy for
+// drain. This model makes the proxy concrete.
+type EnergyModel struct {
+	// TxPowerW is the radio's power draw while transmitting (PA plus
+	// baseband; ~120 mW for an SX1276 at +14 dBm).
+	TxPowerW float64
+	// RxPowerW is the draw while listening for beacons/ACKs (~40 mW).
+	RxPowerW float64
+	// SleepPowerW is the deep-sleep draw between slots (~1.5 µW).
+	SleepPowerW float64
+	// RxSecondsPerDelivery approximates the listen time spent per delivered
+	// packet (beacon + ACK windows).
+	RxSecondsPerDelivery float64
+}
+
+// DefaultEnergyModel returns SX1276-class figures.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		TxPowerW:             0.120,
+		RxPowerW:             0.040,
+		SleepPowerW:          1.5e-6,
+		RxSecondsPerDelivery: 0.05,
+	}
+}
+
+// EnergyReport summarizes a simulation's per-node energy use.
+type EnergyReport struct {
+	// TxJoules is the fleet-wide transmit energy.
+	TxJoules float64
+	// RxJoules is the fleet-wide listen energy.
+	RxJoules float64
+	// SleepJoules is the fleet-wide sleep energy.
+	SleepJoules float64
+	// JoulesPerDelivered is total energy per successfully delivered packet.
+	JoulesPerDelivered float64
+	// BatteryYears estimates how long one node lasts on the given battery
+	// at this duty cycle.
+	BatteryYears float64
+}
+
+// Energy evaluates the model against a finished simulation. slotAirtime is
+// the transmit duration of one packet in seconds (cfg.SlotSeconds without
+// guard time is a fine approximation); batteryJ is the battery capacity in
+// joules (a pair of AA lithium cells is ~30 kJ).
+func (e EnergyModel) Energy(m *Metrics, cfg Config, slotAirtime, batteryJ float64) (*EnergyReport, error) {
+	if slotAirtime <= 0 || batteryJ <= 0 {
+		return nil, fmt.Errorf("mac: invalid energy args airtime=%g battery=%g", slotAirtime, batteryJ)
+	}
+	r := &EnergyReport{}
+	r.TxJoules = float64(m.Transmissions) * slotAirtime * e.TxPowerW
+	r.RxJoules = float64(m.Delivered) * e.RxSecondsPerDelivery * e.RxPowerW
+	totalSeconds := float64(m.Slots) * cfg.SlotSeconds * float64(cfg.Nodes)
+	activeSeconds := float64(m.Transmissions)*slotAirtime + float64(m.Delivered)*e.RxSecondsPerDelivery
+	if activeSeconds > totalSeconds {
+		activeSeconds = totalSeconds
+	}
+	r.SleepJoules = (totalSeconds - activeSeconds) * e.SleepPowerW
+	total := r.TxJoules + r.RxJoules + r.SleepJoules
+	if m.Delivered > 0 {
+		r.JoulesPerDelivered = total / float64(m.Delivered)
+	}
+	// Battery life: energy burn per simulated second per node, extrapolated.
+	perNodePerSecond := total / totalSeconds
+	if perNodePerSecond > 0 {
+		r.BatteryYears = batteryJ / perNodePerSecond / (365.25 * 24 * 3600)
+	}
+	return r, nil
+}

@@ -1,0 +1,89 @@
+package mac
+
+import (
+	"testing"
+)
+
+func TestEnergyChoirBeatsAlohaPerPacket(t *testing.T) {
+	// Choir's fewer retransmissions must translate into fewer joules per
+	// delivered packet.
+	cfg := baseConfig(SchemeAloha, 10)
+	cfg.ArrivalPerSlot = 0.8
+	cfg.Unslotted = true
+	cfg.MaxBackoffExp = 5
+	aloha, err := Run(cfg, AlohaReceiver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgC := cfg
+	cfgC.Scheme = SchemeChoir
+	success := []float64{0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55, 0.5}
+	ch, err := Run(cfgC, ModelReceiver{Success: success})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	em := DefaultEnergyModel()
+	const airtime, battery = 0.07, 30e3
+	ra, err := em.Energy(aloha, cfg, airtime, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := em.Energy(ch, cfgC, airtime, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.JoulesPerDelivered >= ra.JoulesPerDelivered {
+		t.Errorf("Choir %.4g J/pkt not below ALOHA %.4g J/pkt", rc.JoulesPerDelivered, ra.JoulesPerDelivered)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := baseConfig(SchemeOracle, 5)
+	m, err := Run(cfg, AlohaReceiver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := DefaultEnergyModel()
+	r, err := em.Energy(m, cfg, 0.07, 30e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: one transmission per slot; TX energy is exact.
+	wantTx := float64(m.Transmissions) * 0.07 * em.TxPowerW
+	if r.TxJoules != wantTx {
+		t.Errorf("TxJoules = %g, want %g", r.TxJoules, wantTx)
+	}
+	if r.JoulesPerDelivered <= 0 {
+		t.Error("JoulesPerDelivered not positive")
+	}
+	if r.BatteryYears <= 0 {
+		t.Error("BatteryYears not positive")
+	}
+	// Sanity: a lightly-loaded sensor should last years, not days.
+	light := baseConfig(SchemeOracle, 5)
+	light.ArrivalPerSlot = 0.001
+	light.SlotSeconds = 10 // report every ~minutes
+	lm, err := Run(light, AlohaReceiver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := em.Energy(lm, light, 0.07, 30e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.BatteryYears < 5 {
+		t.Errorf("light-duty battery life %.1f years — model implausible", lr.BatteryYears)
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	em := DefaultEnergyModel()
+	m := &Metrics{Slots: 10, cfg: Config{Nodes: 1, SlotSeconds: 1}}
+	if _, err := em.Energy(m, m.cfg, 0, 30e3); err == nil {
+		t.Error("zero airtime accepted")
+	}
+	if _, err := em.Energy(m, m.cfg, 0.1, 0); err == nil {
+		t.Error("zero battery accepted")
+	}
+}

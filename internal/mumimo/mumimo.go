@@ -1,0 +1,135 @@
+// Package mumimo implements the uplink MU-MIMO baseline the paper compares
+// against (Sec. 9.5): an N-antenna base station that separates up to N
+// concurrent streams by zero-forcing with the per-user channel matrix, then
+// demodulates each separated stream with the standard LoRa receiver.
+//
+// MU-MIMO's defining limitation — it can never separate more users than it
+// has antennas, no matter the SNR — is a rank constraint of the channel
+// matrix, so the simulated receiver exhibits exactly the gain cap the paper
+// measures against.
+package mumimo
+
+import (
+	"errors"
+	"fmt"
+
+	"choir/internal/linalg"
+	"choir/internal/lora"
+)
+
+// ErrTooManyUsers is returned when more streams than antennas collide.
+var ErrTooManyUsers = errors.New("mumimo: more concurrent users than antennas")
+
+// Receiver is an N-antenna zero-forcing uplink receiver.
+type Receiver struct {
+	modem *lora.Modem
+}
+
+// NewReceiver builds a receiver for the given PHY parameters.
+func NewReceiver(p lora.Params) (*Receiver, error) {
+	m, err := lora.NewModem(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{modem: m}, nil
+}
+
+// Separate applies the zero-forcing filter H⁺ to per-antenna sample streams
+// and returns one stream per user. h is the A×U channel matrix (h[a][u] is
+// antenna a's complex gain from user u); all antenna streams must be equal
+// length. U must not exceed A and H must have full column rank.
+func Separate(antennas [][]complex128, h *linalg.Matrix) ([][]complex128, error) {
+	if len(antennas) == 0 {
+		return nil, errors.New("mumimo: no antenna streams")
+	}
+	a, u := h.Rows, h.Cols
+	if len(antennas) != a {
+		return nil, fmt.Errorf("mumimo: %d antenna streams but channel matrix has %d rows", len(antennas), a)
+	}
+	if u > a {
+		return nil, ErrTooManyUsers
+	}
+	n := len(antennas[0])
+	for i, s := range antennas {
+		if len(s) != n {
+			return nil, fmt.Errorf("mumimo: antenna %d has %d samples, want %d", i, len(s), n)
+		}
+	}
+	w, err := linalg.PseudoInverse(h) // U×A
+	if err != nil {
+		return nil, fmt.Errorf("mumimo: channel matrix not invertible: %w", err)
+	}
+	out := make([][]complex128, u)
+	for i := range out {
+		out[i] = make([]complex128, n)
+	}
+	// y_sep(t) = W · y(t) for every sample t.
+	for t := 0; t < n; t++ {
+		for ui := 0; ui < u; ui++ {
+			var s complex128
+			for ai := 0; ai < a; ai++ {
+				s += w.At(ui, ai) * antennas[ai][t]
+			}
+			out[ui][t] = s
+		}
+	}
+	return out, nil
+}
+
+// DecodeUplink separates the collision and demodulates each user's frame.
+// It returns one payload per user (nil entries for users whose frame failed
+// to decode) and the count of successes. Channel knowledge is genie-aided,
+// the standard idealization for an upper-bound baseline: real MU-MIMO needs
+// orthogonal training, which only costs it further.
+func (r *Receiver) DecodeUplink(antennas [][]complex128, h *linalg.Matrix, payloadLen int) ([][]byte, int, error) {
+	streams, err := Separate(antennas, h)
+	if err != nil {
+		return nil, 0, err
+	}
+	payloads := make([][]byte, len(streams))
+	ok := 0
+	for i, s := range streams {
+		p, err := r.modem.Demodulate(s, payloadLen)
+		if err == nil {
+			payloads[i] = p
+			ok++
+		}
+	}
+	return payloads, ok, nil
+}
+
+// EstimateChannels builds the A×U channel matrix from per-user training
+// transmissions received in isolation (each user's solo preamble on all
+// antennas). training[u][a] is the samples of user u's solo frame at
+// antenna a; the estimator correlates the first preamble symbol against the
+// base up-chirp.
+func (r *Receiver) EstimateChannels(training [][][]complex128) (*linalg.Matrix, error) {
+	u := len(training)
+	if u == 0 {
+		return nil, errors.New("mumimo: no training data")
+	}
+	a := len(training[0])
+	h := linalg.NewMatrix(a, u)
+	n := r.modem.Params.N()
+	down := r.modem.Down()
+	for ui := 0; ui < u; ui++ {
+		if len(training[ui]) != a {
+			return nil, fmt.Errorf("mumimo: user %d trained on %d antennas, want %d", ui, len(training[ui]), a)
+		}
+		for ai := 0; ai < a; ai++ {
+			s := training[ui][ai]
+			if len(s) < n {
+				return nil, fmt.Errorf("%w: user %d antenna %d", lora.ErrShortSignal, ui, ai)
+			}
+			d := lora.Dechirp(nil, s[:n], down)
+			// Preamble symbol is 0: channel is the mean of the dechirped
+			// tone at DC.
+			var sum complex128
+			for _, v := range d {
+				sum += v
+			}
+			h.Set(ai, ui, sum/complex(float64(n), 0))
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,172 @@
+package mumimo
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"choir/internal/linalg"
+	"choir/internal/lora"
+)
+
+// buildCollision renders nUsers frames through an nAnt-antenna channel with
+// random complex gains, returning the per-antenna streams, the true channel
+// matrix, and the payloads.
+func buildCollision(t *testing.T, nAnt, nUsers int, noise float64, seed uint64) ([][]complex128, *linalg.Matrix, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 42))
+	p := lora.DefaultParams()
+	m := lora.MustModem(p)
+	payloads := make([][]byte, nUsers)
+	frames := make([][]complex128, nUsers)
+	maxLen := 0
+	for u := range payloads {
+		payloads[u] = make([]byte, 6)
+		for i := range payloads[u] {
+			payloads[u][i] = byte(rng.IntN(256))
+		}
+		frames[u] = m.Modulate(payloads[u])
+		if len(frames[u]) > maxLen {
+			maxLen = len(frames[u])
+		}
+	}
+	h := linalg.NewMatrix(nAnt, nUsers)
+	for a := 0; a < nAnt; a++ {
+		for u := 0; u < nUsers; u++ {
+			h.Set(a, u, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	antennas := make([][]complex128, nAnt)
+	for a := range antennas {
+		antennas[a] = make([]complex128, maxLen)
+		for u := 0; u < nUsers; u++ {
+			g := h.At(a, u)
+			for i, v := range frames[u] {
+				antennas[a][i] += g * v
+			}
+		}
+		for i := range antennas[a] {
+			antennas[a][i] += complex(rng.NormFloat64(), rng.NormFloat64()) * complex(noise, 0)
+		}
+	}
+	return antennas, h, payloads
+}
+
+func TestSeparateAndDecodeThreeUsersThreeAntennas(t *testing.T) {
+	antennas, h, payloads := buildCollision(t, 3, 3, 0.01, 1)
+	r, err := NewReceiver(lora.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.DecodeUplink(antennas, h, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 3 {
+		t.Fatalf("decoded %d of 3 users", ok)
+	}
+	for u := range payloads {
+		if !bytes.Equal(got[u], payloads[u]) {
+			t.Errorf("user %d payload mismatch", u)
+		}
+	}
+}
+
+func TestRejectsMoreUsersThanAntennas(t *testing.T) {
+	antennas, h, _ := buildCollision(t, 2, 3, 0.01, 2)
+	// h is 2x3: more users than antennas.
+	if _, err := Separate(antennas, h); !errors.Is(err, ErrTooManyUsers) {
+		t.Errorf("err = %v, want ErrTooManyUsers", err)
+	}
+}
+
+func TestSeparateInputValidation(t *testing.T) {
+	h := linalg.NewMatrix(2, 2)
+	if _, err := Separate(nil, h); err == nil {
+		t.Error("empty antennas accepted")
+	}
+	if _, err := Separate([][]complex128{make([]complex128, 4)}, h); err == nil {
+		t.Error("antenna/row mismatch accepted")
+	}
+	ragged := [][]complex128{make([]complex128, 4), make([]complex128, 5)}
+	h.Set(0, 0, 1)
+	h.Set(1, 1, 1)
+	if _, err := Separate(ragged, h); err == nil {
+		t.Error("ragged antenna streams accepted")
+	}
+}
+
+func TestSeparateRecoversStreamsExactly(t *testing.T) {
+	// Noiseless separation must be numerically exact.
+	antennas, h, payloads := buildCollision(t, 3, 2, 0, 3)
+	streams, err := Separate(antennas, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 2 {
+		t.Fatalf("got %d streams", len(streams))
+	}
+	m := lora.MustModem(lora.DefaultParams())
+	for u, s := range streams {
+		p, err := m.Demodulate(s, 6)
+		if err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		if !bytes.Equal(p, payloads[u]) {
+			t.Errorf("user %d payload mismatch", u)
+		}
+	}
+}
+
+func TestEstimateChannelsMatchesTruth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	p := lora.DefaultParams()
+	m := lora.MustModem(p)
+	r, err := NewReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nAnt, nUsers = 3, 2
+	truth := linalg.NewMatrix(nAnt, nUsers)
+	training := make([][][]complex128, nUsers)
+	frame := m.Modulate([]byte{1})
+	for u := 0; u < nUsers; u++ {
+		training[u] = make([][]complex128, nAnt)
+		for a := 0; a < nAnt; a++ {
+			g := complex(rng.NormFloat64(), rng.NormFloat64())
+			truth.Set(a, u, g)
+			s := make([]complex128, len(frame))
+			for i, v := range frame {
+				s[i] = g * v
+			}
+			training[u][a] = s
+		}
+	}
+	got, err := r.EstimateChannels(training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < nAnt; a++ {
+		for u := 0; u < nUsers; u++ {
+			diff := got.At(a, u) - truth.At(a, u)
+			if real(diff)*real(diff)+imag(diff)*imag(diff) > 1e-12 {
+				t.Errorf("h[%d][%d] = %v, want %v", a, u, got.At(a, u), truth.At(a, u))
+			}
+		}
+	}
+}
+
+func TestEstimateChannelsValidation(t *testing.T) {
+	r, err := NewReceiver(lora.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EstimateChannels(nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	short := [][][]complex128{{make([]complex128, 3)}}
+	if _, err := r.EstimateChannels(short); !errors.Is(err, lora.ErrShortSignal) {
+		t.Errorf("err = %v, want ErrShortSignal", err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package sensor models the correlated environmental data of the paper's
+// building deployment (Sec. 9.4): a temperature/humidity field over a
+// multi-floor building, 12-bit sensor readings, the most-significant-bit
+// splicing of Sec. 7.2 that lets co-located sensors transmit identical
+// chunks, and the grouping strategies Fig. 11(a) compares.
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"choir/internal/geo"
+)
+
+// Kind selects the sensed quantity.
+type Kind int
+
+// Sensed quantities of the paper's testbed (BME280 sensors).
+const (
+	Temperature Kind = iota
+	Humidity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Temperature {
+		return "temperature"
+	}
+	return "humidity"
+}
+
+// Field is a synthetic environmental field over a building. Readings are
+// spatially correlated: the closer two sensors are — and in particular the
+// more similar their distance from the building core — the closer their
+// values, which is exactly the structure Fig. 11(a) exploits.
+type Field struct {
+	// Outdoor and Core are the field values at the facade and at the
+	// building's center (e.g. 31 °C outside, 22 °C at the core).
+	Outdoor, Core float64
+	// FloorDelta is the per-floor offset (warm air rises: positive for
+	// temperature).
+	FloorDelta float64
+	// NoiseSigma is the per-sensor microclimate noise.
+	NoiseSigma float64
+	// Range is the full-scale range of the sensor's ADC [Min, Max].
+	Min, Max float64
+}
+
+// TemperatureField returns a summer-day temperature model (values in °C).
+func TemperatureField() Field {
+	return Field{Outdoor: 31, Core: 22, FloorDelta: 0.4, NoiseSigma: 0.15, Min: -20, Max: 60}
+}
+
+// HumidityField returns a matching relative-humidity model (values in %RH).
+// Humidity varies more between rooms than temperature does, which is why
+// Fig. 11(a) shows higher error for humidity under every grouping.
+func HumidityField() Field {
+	return Field{Outdoor: 68, Core: 45, FloorDelta: -1.0, NoiseSigma: 1.2, Min: 0, Max: 100}
+}
+
+// At returns the field value at sensor i of building b, with microclimate
+// noise drawn from rng (nil for the deterministic component only).
+func (f Field) At(b *geo.Building, i int, rng *rand.Rand) float64 {
+	d := b.DistanceFromCenter(i)
+	maxD := math.Hypot(b.Width/2, b.Depth/2)
+	frac := 0.0
+	if maxD > 0 {
+		frac = d / maxD
+	}
+	v := f.Core + (f.Outdoor-f.Core)*frac + f.FloorDelta*float64(b.Floor(i))
+	if rng != nil {
+		v += rng.NormFloat64() * f.NoiseSigma
+	}
+	if v < f.Min {
+		v = f.Min
+	}
+	if v > f.Max {
+		v = f.Max
+	}
+	return v
+}
+
+// Bits is the sensor ADC resolution used throughout (12-bit, BME280-like).
+const Bits = 12
+
+// Quantize converts a physical value to the sensor's 12-bit code.
+func (f Field) Quantize(v float64) uint16 {
+	if f.Max <= f.Min {
+		panic(fmt.Sprintf("sensor: invalid field range [%g, %g]", f.Min, f.Max))
+	}
+	frac := (v - f.Min) / (f.Max - f.Min)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	code := uint16(math.Round(frac * float64((1<<Bits)-1)))
+	return code
+}
+
+// Dequantize converts a 12-bit code back to a physical value (bin center).
+func (f Field) Dequantize(code uint16) float64 {
+	return f.Min + float64(code)/float64((1<<Bits)-1)*(f.Max-f.Min)
+}
+
+// MSBChunk extracts the top nBits of a 12-bit reading, the chunk Sec. 7.2
+// splices into its own packet so that co-located sensors transmit identical
+// payloads even when their low-order bits differ.
+func MSBChunk(code uint16, nBits int) uint16 {
+	if nBits < 0 || nBits > Bits {
+		panic(fmt.Sprintf("sensor: MSB chunk of %d bits out of [0,%d]", nBits, Bits))
+	}
+	return code >> (Bits - nBits)
+}
+
+// FromMSBChunk reconstructs the best 12-bit estimate from an MSB chunk by
+// centring the unknown low-order bits.
+func FromMSBChunk(chunk uint16, nBits int) uint16 {
+	if nBits <= 0 {
+		return 1 << (Bits - 1)
+	}
+	if nBits >= Bits {
+		return chunk
+	}
+	low := Bits - nBits
+	return chunk<<low | 1<<(low-1)
+}
+
+// SharedMSBs returns the number of leading bits on which all 12-bit codes
+// agree — the resolution a team transmission can convey (Sec. 7.2).
+func SharedMSBs(codes []uint16) int {
+	if len(codes) == 0 {
+		return 0
+	}
+	shared := Bits
+	first := codes[0]
+	for _, c := range codes[1:] {
+		if agree := Bits - bits.Len16(first^c); agree < shared {
+			shared = agree
+		}
+	}
+	return shared
+}
+
+// GroupStrategy selects how sensors are grouped into teams (Fig. 11a).
+type GroupStrategy int
+
+// The three strategies compared in Fig. 11(a).
+const (
+	// GroupRandom shuffles sensors into arbitrary teams.
+	GroupRandom GroupStrategy = iota
+	// GroupByFloor teams up sensors on the same floor.
+	GroupByFloor
+	// GroupByCenterDistance teams up sensors at similar distance from the
+	// centre of their floor — the winning strategy, because the field's
+	// dominant gradient is radial.
+	GroupByCenterDistance
+)
+
+// String implements fmt.Stringer.
+func (g GroupStrategy) String() string {
+	switch g {
+	case GroupRandom:
+		return "random"
+	case GroupByFloor:
+		return "floor"
+	case GroupByCenterDistance:
+		return "center-distance"
+	default:
+		return fmt.Sprintf("GroupStrategy(%d)", int(g))
+	}
+}
+
+// Group partitions the building's sensors into teams of the given size
+// using the strategy. The final team may be smaller when the counts do not
+// divide evenly.
+func Group(b *geo.Building, strategy GroupStrategy, teamSize int, rng *rand.Rand) [][]int {
+	if teamSize <= 0 {
+		panic(fmt.Sprintf("sensor: team size %d <= 0", teamSize))
+	}
+	n := b.NumSensors()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	switch strategy {
+	case GroupRandom:
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case GroupByFloor:
+		sort.SliceStable(order, func(i, j int) bool {
+			if b.Floor(order[i]) != b.Floor(order[j]) {
+				return b.Floor(order[i]) < b.Floor(order[j])
+			}
+			return order[i] < order[j]
+		})
+	case GroupByCenterDistance:
+		sort.SliceStable(order, func(i, j int) bool {
+			return b.DistanceFromCenter(order[i]) < b.DistanceFromCenter(order[j])
+		})
+	default:
+		panic(fmt.Sprintf("sensor: unknown strategy %d", int(strategy)))
+	}
+	var teams [][]int
+	for start := 0; start < n; start += teamSize {
+		end := start + teamSize
+		if end > n {
+			end = n
+		}
+		teams = append(teams, order[start:end:end])
+	}
+	return teams
+}
+
+// TeamError evaluates one team transmission: every member's reading is
+// quantized, the shared MSB chunk is what the base station recovers, and
+// the per-member error is |true − reconstructed| normalized by the field
+// range. It returns the mean normalized error over members and the number
+// of shared bits conveyed.
+func TeamError(f Field, b *geo.Building, team []int, rng *rand.Rand) (meanNormErr float64, sharedBits int) {
+	if len(team) == 0 {
+		return 0, 0
+	}
+	truths := make([]float64, len(team))
+	codes := make([]uint16, len(team))
+	for i, s := range team {
+		truths[i] = f.At(b, s, rng)
+		codes[i] = f.Quantize(truths[i])
+	}
+	sharedBits = SharedMSBs(codes)
+	chunk := MSBChunk(codes[0], sharedBits)
+	recon := f.Dequantize(FromMSBChunk(chunk, sharedBits))
+	var sum float64
+	for _, tr := range truths {
+		sum += math.Abs(tr-recon) / (f.Max - f.Min)
+	}
+	return sum / float64(len(team)), sharedBits
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"choir/internal/lora"
+)
+
+// CalibrationConfig controls Monte-Carlo calibration of the Choir PHY.
+type CalibrationConfig struct {
+	Params lora.Params
+	// PayloadLen in bytes.
+	PayloadLen int
+	// MaxUsers is the largest collision size to calibrate.
+	MaxUsers int
+	// Trials per collision size.
+	Trials int
+	// Regime draws each user's SNR.
+	Regime SNRRegime
+	Seed   uint64
+}
+
+// DefaultCalibration returns the calibration used by the figure-8 sweeps.
+func DefaultCalibration() CalibrationConfig {
+	return CalibrationConfig{
+		Params:     lora.DefaultParams(),
+		PayloadLen: 8,
+		MaxUsers:   10,
+		Trials:     6,
+		Regime:     MediumSNR,
+		Seed:       1,
+	}
+}
+
+// SuccessTable Monte-Carlos the real IQ-level Choir decoder across
+// collision sizes 1..MaxUsers and returns per-size per-user decode rates:
+// table[k-1] is the probability that one specific packet out of k
+// concurrent ones is recovered. Results are memoized per configuration.
+func SuccessTable(cfg CalibrationConfig) []float64 {
+	if v, ok := calibCache.Load(cfg); ok {
+		return v.([]float64)
+	}
+	table := make([]float64, cfg.MaxUsers)
+	for k := 1; k <= cfg.MaxUsers; k++ {
+		recovered, total := 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + uint64(k)*1000 + uint64(trial)
+			rng := rand.New(rand.NewPCG(seed, 0xCA11B))
+			snrs := make([]float64, k)
+			for i := range snrs {
+				snrs[i] = cfg.Regime.Sample(rng)
+			}
+			sc := Scenario{
+				Params:     cfg.Params,
+				PayloadLen: cfg.PayloadLen,
+				SNRsDB:     snrs,
+				Seed:       seed,
+			}
+			r, n := sc.DecodeWithChoir()
+			recovered += r
+			total += n
+		}
+		if total > 0 {
+			table[k-1] = float64(recovered) / float64(total)
+		}
+	}
+	calibCache.Store(cfg, table)
+	return table
+}
+
+var calibCache sync.Map
+
+// AnalyticChoirTable returns a closed-form approximation of the calibrated
+// success table, used where running the IQ decoder for every point would be
+// prohibitive (wide MAC sweeps). It models the two loss mechanisms the
+// paper names (Sec. 5.2 note 3): fractional-offset collisions between users
+// (birthday-style, resolution ~resolvable distinct offsets) and a per-user
+// noise floor term.
+func AnalyticChoirTable(maxUsers int, baseSuccess float64, resolvableOffsets float64) []float64 {
+	table := make([]float64, maxUsers)
+	for k := 1; k <= maxUsers; k++ {
+		// P(this user's fractional offset stays clear of the other k-1).
+		clear := 1.0
+		for j := 0; j < k-1; j++ {
+			clear *= 1 - 1/resolvableOffsets
+		}
+		table[k-1] = baseSuccess * clear
+	}
+	return table
+}

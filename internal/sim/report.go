@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one plotted line of a figure: Y values over X with a label.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced paper figure: a set of series plus axis metadata.
+type Figure struct {
+	ID     string // e.g. "Fig 8(d)"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Fprint renders the figure as an aligned text table, one row per X value
+// and one column per series — the same rows/series the paper plots.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	if len(f.Series) == 0 {
+		return
+	}
+	for i := range f.Series[0].X {
+		row := []string{formatNum(f.Series[0].X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	fmt.Fprintf(w, "(y axis: %s)\n", f.YLabel)
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7 && v > -1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// SeriesAt returns the named series, or nil.
+func (f *Figure) SeriesAt(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// GainAt returns series a's Y divided by series b's Y at X index i — the
+// "N×" factors quoted in the paper's prose.
+func (f *Figure) GainAt(a, b string, i int) float64 {
+	sa, sb := f.SeriesAt(a), f.SeriesAt(b)
+	if sa == nil || sb == nil || i >= len(sa.Y) || i >= len(sb.Y) || sb.Y[i] == 0 {
+		return 0
+	}
+	return sa.Y[i] / sb.Y[i]
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the trace parser never panics on arbitrary input.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few corruptions.
+	var buf bytes.Buffer
+	h := Header{PayloadLen: 4}
+	h.Params.SF = 8
+	h.Params.Bandwidth = 125e3
+	h.Params.CR = 4
+	h.Params.PreambleLen = 8
+	_ = Write(&buf, h, []complex128{1, 2i, -3})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("{\"magic\":\"CHOIR-IQ-1\"}\nshort"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = Read(bytes.NewReader(data))
+	})
+}
+
+// FuzzWriteReadRoundTrip asserts Write∘Read is the identity for arbitrary
+// sample payloads.
+func FuzzWriteReadRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 16
+		samples := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			samples[i] = complex(float64(raw[16*i]), float64(raw[16*i+1]))
+		}
+		h := Header{PayloadLen: 1}
+		h.Params.SF = 8
+		h.Params.Bandwidth = 125e3
+		h.Params.CR = 4
+		h.Params.PreambleLen = 8
+		var buf bytes.Buffer
+		if err := Write(&buf, h, samples); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(samples) {
+			t.Fatalf("%d samples, want %d", len(got), len(samples))
+		}
+		for i := range samples {
+			if got[i] != samples[i] {
+				t.Fatalf("sample %d differs", i)
+			}
+		}
+	})
+}

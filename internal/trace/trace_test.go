@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"choir/internal/lora"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	samples := make([]complex128, 1000)
+	for i := range samples {
+		samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	h := Header{Params: lora.DefaultParams(), PayloadLen: 8, Users: []string{"aa", "bb"}}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSamples, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadLen != 8 || got.Params != h.Params || len(got.Users) != 2 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(gotSamples) != len(samples) {
+		t.Fatalf("%d samples, want %d", len(gotSamples), len(samples))
+	}
+	for i := range samples {
+		if gotSamples[i] != samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("{\"magic\":\"nope\"}\n")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestReadRejectsInvalidParams(t *testing.T) {
+	h := Header{Params: lora.Params{SF: 3}, PayloadLen: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, h, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestReadTruncatedSamples(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Params: lora.DefaultParams(), PayloadLen: 1}, []complex128{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-7] // cut mid-sample
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("truncated sample stream accepted")
+	}
+}

@@ -1,0 +1,386 @@
+// Package unb implements an ultra-narrowband LP-WAN PHY in the style of
+// SigFox (DBPSK at ~100 baud in ~100 Hz of spectrum) together with a
+// collision receiver that separates concurrent transmissions purely by
+// their carrier positions.
+//
+// The Choir paper argues (Sec. 5.2, note 2) that its core idea — separating
+// users by hardware-induced frequency offsets — applies even more directly
+// to UNB technologies: a cheap crystal's offset (kilohertz at 900 MHz) is
+// tens of times wider than the whole signal, so colliding transmissions
+// usually do not even overlap in frequency and can be separated by simple
+// filtering. This package demonstrates exactly that, including the caveat
+// the paper adds: timing offsets no longer map to frequency offsets (there
+// is no chirp duality), so UNB reception must detect each carrier's start
+// edge explicitly.
+package unb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"choir/internal/dsp"
+	"choir/internal/lora"
+)
+
+// Params configures the UNB PHY.
+type Params struct {
+	// BandHz is the receiver's digitized bandwidth (== sample rate).
+	BandHz float64
+	// BaudHz is the symbol rate; one DBPSK symbol is BandHz/BaudHz samples.
+	BaudHz float64
+	// PreambleBits is the alternating training sequence length.
+	PreambleBits int
+	// SyncWord marks the end of the preamble.
+	SyncWord byte
+}
+
+// DefaultParams returns a SigFox-like configuration scaled for simulation:
+// a 12.8 kHz band digitized at critical rate with 100 baud DBPSK, so one
+// symbol is 128 samples.
+func DefaultParams() Params {
+	return Params{BandHz: 12800, BaudHz: 100, PreambleBits: 16, SyncWord: 0x2D}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.BandHz <= 0:
+		return fmt.Errorf("unb: band %g Hz", p.BandHz)
+	case p.BaudHz <= 0 || p.BaudHz > p.BandHz/8:
+		return fmt.Errorf("unb: baud %g Hz outside (0, band/8]", p.BaudHz)
+	case p.PreambleBits < 8:
+		return fmt.Errorf("unb: preamble of %d bits < 8", p.PreambleBits)
+	}
+	return nil
+}
+
+// SamplesPerSymbol returns the (integer) samples per DBPSK symbol.
+func (p Params) SamplesPerSymbol() int { return int(p.BandHz / p.BaudHz) }
+
+// FrameBits returns the number of bits in a frame carrying payloadLen
+// bytes: preamble, 8 sync bits, one length byte, payload, CRC-16.
+func (p Params) FrameBits(payloadLen int) int {
+	return p.PreambleBits + 8 + 8 + payloadLen*8 + 16
+}
+
+// FrameSamples returns the frame duration in samples.
+func (p Params) FrameSamples(payloadLen int) int {
+	return p.FrameBits(payloadLen) * p.SamplesPerSymbol()
+}
+
+// frameBits assembles the DBPSK bit stream: alternating preamble, sync,
+// length, payload, CRC-16 (reusing the LoRa CCITT CRC).
+func frameBits(p Params, payload []byte) ([]byte, error) {
+	if len(payload) < 1 || len(payload) > 255 {
+		return nil, fmt.Errorf("unb: payload length %d outside [1,255]", len(payload))
+	}
+	bits := make([]byte, 0, p.FrameBits(len(payload)))
+	for i := 0; i < p.PreambleBits; i++ {
+		bits = append(bits, byte(i%2))
+	}
+	appendByte := func(b byte) {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, b>>i&1)
+		}
+	}
+	appendByte(p.SyncWord)
+	appendByte(byte(len(payload)))
+	for _, b := range payload {
+		appendByte(b)
+	}
+	crc := lora.CRC16(payload)
+	appendByte(byte(crc >> 8))
+	appendByte(byte(crc))
+	return bits, nil
+}
+
+// Modulate renders a frame as DBPSK at carrierHz within the band (carrier
+// is relative to band center, so it spans ±BandHz/2): bit 1 flips the
+// phase, bit 0 keeps it.
+func Modulate(p Params, payload []byte, carrierHz float64) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if math.Abs(carrierHz) >= p.BandHz/2 {
+		return nil, fmt.Errorf("unb: carrier %g Hz outside ±%g", carrierHz, p.BandHz/2)
+	}
+	bits, err := frameBits(p, payload)
+	if err != nil {
+		return nil, err
+	}
+	sps := p.SamplesPerSymbol()
+	out := make([]complex128, len(bits)*sps)
+	phase := 0.0
+	fCyc := carrierHz / p.BandHz
+	idx := 0
+	for _, bit := range bits {
+		if bit == 1 {
+			phase += math.Pi
+		}
+		for k := 0; k < sps; k++ {
+			s, c := math.Sincos(2*math.Pi*fCyc*float64(idx) + phase)
+			out[idx] = complex(c, s)
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// Detection is one carrier found in the band.
+type Detection struct {
+	// CarrierHz is the estimated carrier relative to band center.
+	CarrierHz float64
+	// Power is the carrier's relative spectral power.
+	Power float64
+}
+
+// ErrNoCarriers is returned when no transmission is detected in the band.
+var ErrNoCarriers = errors.New("unb: no carriers detected")
+
+// DetectCarriers locates concurrent UNB transmissions by their spectral
+// peaks. Because each signal occupies only ~BaudHz of the band, crystal
+// offsets of a few kilohertz separate colliding transmissions completely —
+// the regime the paper contrasts with LoRa, where offsets are a fraction
+// of the bandwidth.
+func DetectCarriers(p Params, samples []complex128, maxCarriers int) ([]Detection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	win := dsp.NextPow2(8 * p.SamplesPerSymbol())
+	if len(samples) < win {
+		return nil, fmt.Errorf("unb: %d samples < analysis window %d", len(samples), win)
+	}
+	fft := dsp.NewFFT(win)
+	acc := make([]float64, win)
+	buf := make([]complex128, win)
+	nWin := len(samples) / win
+	if nWin > 8 {
+		nWin = 8
+	}
+	for w := 0; w < nWin; w++ {
+		copy(buf, samples[w*win:(w+1)*win])
+		spec := fft.Transform(nil, buf)
+		for i, v := range spec {
+			acc[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	floor := dsp.NoiseFloor(acc)
+	// Carriers must stand clear of the floor; DBPSK spreads a little into
+	// sidebands, so require a separation of several symbol-rate widths.
+	binHz := p.BandHz / float64(win)
+	minSepBins := 4 * p.BaudHz / binHz
+	peaks := dsp.FindPeaks(acc, dsp.PeakConfig{
+		Pad:           1,
+		MinSeparation: minSepBins,
+		Threshold:     floor * 8,
+		Max:           maxCarriers,
+	})
+	if len(peaks) == 0 {
+		return nil, ErrNoCarriers
+	}
+	out := make([]Detection, len(peaks))
+	for i, pk := range peaks {
+		f := pk.Bin * binHz
+		if f > p.BandHz/2 {
+			f -= p.BandHz
+		}
+		out[i] = Detection{CarrierHz: f, Power: pk.Mag}
+	}
+	return out, nil
+}
+
+// Decoded is one successfully demodulated UNB transmission.
+type Decoded struct {
+	Detection
+	Payload []byte
+	// StartSample is where the frame's first preamble symbol begins.
+	StartSample int
+}
+
+// DecodeBand detects every carrier in the band and demodulates each one
+// independently: down-convert, integrate-and-dump at the symbol rate,
+// differential phase detection, frame sync on the preamble/sync pattern,
+// CRC check. Transmissions whose demodulation fails are reported in failed.
+func DecodeBand(p Params, samples []complex128, maxCarriers int) (decoded []Decoded, failed []Detection, err error) {
+	dets, err := DetectCarriers(p, samples, maxCarriers)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, det := range dets {
+		d, derr := decodeCarrier(p, samples, det)
+		if derr != nil {
+			failed = append(failed, det)
+			continue
+		}
+		decoded = append(decoded, *d)
+	}
+	// A strong carrier's modulation sidebands can be detected as their own
+	// "carriers" and — since the residual-offset correction absorbs the
+	// frequency error — decode to the same frame. Deduplicate by payload
+	// and start position, keeping the strongest detection.
+	var unique []Decoded
+	for _, d := range decoded {
+		dup := false
+		for i := range unique {
+			if bytes.Equal(unique[i].Payload, d.Payload) &&
+				abs(unique[i].StartSample-d.StartSample) < p.SamplesPerSymbol() {
+				if d.Power > unique[i].Power {
+					unique[i] = d
+				}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			unique = append(unique, d)
+		}
+	}
+	return unique, failed, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// decodeCarrier demodulates one detected transmission.
+func decodeCarrier(p Params, samples []complex128, det Detection) (*Decoded, error) {
+	sps := p.SamplesPerSymbol()
+	// Down-convert and integrate-and-dump per symbol-length block at every
+	// offset of a coarse start-search grid.
+	base := dsp.FreqShift(samples, -det.CarrierHz/p.BandHz)
+	nSym := len(base) / sps
+	if nSym < p.PreambleBits+8 {
+		return nil, fmt.Errorf("unb: only %d symbols under carrier", nSym)
+	}
+	// Coarse residual-CFO correction: the detection grid is one FFT bin
+	// wide; estimate the residual from the phase drift across preamble-ish
+	// symbols later. First integrate per symbol at grid phase 0.
+	for phase := 0; phase < sps; phase += sps / 4 {
+		d, err := tryDecodeAt(p, base, phase)
+		if err == nil {
+			d.Detection = det
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("unb: no frame sync at carrier %.1f Hz", det.CarrierHz)
+}
+
+// tryDecodeAt attempts demodulation with symbol boundaries at the given
+// sample phase.
+func tryDecodeAt(p Params, base []complex128, phase int) (*Decoded, error) {
+	sps := p.SamplesPerSymbol()
+	nSym := (len(base) - phase) / sps
+	if nSym < p.FrameBits(1) {
+		return nil, errors.New("unb: too few symbols")
+	}
+	sums := make([]complex128, nSym)
+	for s := 0; s < nSym; s++ {
+		var acc complex128
+		for k := 0; k < sps; k++ {
+			acc += base[phase+s*sps+k]
+		}
+		sums[s] = acc
+	}
+	// Residual carrier correction: differential phases cluster around 0 and
+	// π; estimate the common rotation from angle statistics of sums[k+1]
+	// ·conj(sums[k]) doubled (removes the BPSK modulation).
+	var rot complex128
+	for s := 1; s < nSym; s++ {
+		d := sums[s] * complexConj(sums[s-1])
+		rot += d * d // squaring removes the π ambiguity
+	}
+	resid := cmplx.Phase(rot) / 2
+	// The squaring estimator leaves a π ambiguity (which inverts every
+	// differential bit); try both branches.
+	bits := make([]byte, nSym-1)
+	for _, branch := range []float64{resid, resid + math.Pi} {
+		cr, sr := math.Cos(branch), math.Sin(branch)
+		derot := complex(cr, -sr)
+		for s := 1; s < nSym; s++ {
+			d := sums[s] * complexConj(sums[s-1]) * derot
+			if real(d) < 0 {
+				bits[s-1] = 1
+			} else {
+				bits[s-1] = 0
+			}
+		}
+		if dec, err := frameFromBits(p, bits, phase); err == nil {
+			return dec, nil
+		}
+	}
+	return nil, errors.New("unb: frame sync not found on either phase branch")
+}
+
+func complexConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// frameFromBits hunts for the frame structure in a differential bit stream
+// (which may be the global inversion of the true stream — DBPSK resolves
+// only transitions, and our frameBits treats "1" as a transition, so the
+// differential stream IS the bit stream).
+func frameFromBits(p Params, bits []byte, phase int) (*Decoded, error) {
+	// The transmitted preamble alternates 0101..., i.e. transitions on
+	// every second bit: differential pattern 1,1,1... wait — frameBits'
+	// bit b directly selects transition/no-transition, so the received
+	// differential stream equals the transmitted bit stream directly.
+	matchByte := func(at int, want byte) bool {
+		for i := 0; i < 8; i++ {
+			if at+i >= len(bits) || bits[at+i] != want>>(7-i)&1 {
+				return false
+			}
+		}
+		return true
+	}
+	for start := 0; start+p.PreambleBits+16 < len(bits); start++ {
+		okPre := true
+		for i := 0; i < p.PreambleBits-1; i++ {
+			// First preamble bit is consumed by the differential reference;
+			// remaining alternate 1,0,1,0... starting from index 1 value.
+			want := byte((i + 1) % 2)
+			if bits[start+i] != want {
+				okPre = false
+				break
+			}
+		}
+		if !okPre {
+			continue
+		}
+		at := start + p.PreambleBits - 1
+		if !matchByte(at, p.SyncWord) {
+			continue
+		}
+		at += 8
+		if at+8 > len(bits) {
+			continue
+		}
+		var plen int
+		for i := 0; i < 8; i++ {
+			plen = plen<<1 | int(bits[at+i])
+		}
+		at += 8
+		if plen < 1 || at+plen*8+16 > len(bits) {
+			continue
+		}
+		payload := make([]byte, plen)
+		for b := 0; b < plen; b++ {
+			for i := 0; i < 8; i++ {
+				payload[b] = payload[b]<<1 | bits[at+b*8+i]
+			}
+		}
+		at += plen * 8
+		var crc uint16
+		for i := 0; i < 16; i++ {
+			crc = crc<<1 | uint16(bits[at+i])
+		}
+		if lora.CRC16(payload) != crc {
+			continue
+		}
+		return &Decoded{Payload: payload, StartSample: phase + start*p.SamplesPerSymbol()}, nil
+	}
+	return nil, errors.New("unb: frame sync not found")
+}
