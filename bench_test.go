@@ -51,7 +51,7 @@ func BenchmarkFig7OffsetCDF(b *testing.B) {
 func BenchmarkFig7OffsetStability(b *testing.B) {
 	var fig *choir.Figure
 	for i := 0; i < b.N; i++ {
-		fig = choir.Fig7Stability(2, 5)
+		fig = choir.Fig7Stability(2, 5, 0)
 	}
 	logFigure(b, fig)
 	s := fig.SeriesAt("stdev CFO+TO (Hz)")
@@ -122,7 +122,7 @@ func BenchmarkFig10Resolution(b *testing.B) {
 	dists := []float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}
 	var fig *choir.Figure
 	for i := 0; i < b.N; i++ {
-		fig = choir.Fig10Resolution(dists, 3, 1)
+		fig = choir.Fig10Resolution(dists, 3, 1, 0)
 	}
 	logFigure(b, fig)
 	tmp := fig.SeriesAt("temperature")
@@ -132,7 +132,7 @@ func BenchmarkFig10Resolution(b *testing.B) {
 func BenchmarkFig11Grouping(b *testing.B) {
 	var fig *choir.Figure
 	for i := 0; i < b.N; i++ {
-		fig = choir.Fig11Grouping(6, 10, 2)
+		fig = choir.Fig11Grouping(6, 10, 2, 0)
 	}
 	logFigure(b, fig)
 	t := fig.SeriesAt("temperature")
@@ -535,6 +535,29 @@ func BenchmarkTeamDecode(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel trial-execution engine ---
+
+// benchSuccessTable Monte-Carlos the IQ-level calibration grid uncached at
+// a fixed worker count. The serial/parallel twins share one configuration,
+// so their ratio is the engine's wall-clock speedup on this machine; the
+// sim package's determinism tests assert the tables themselves are
+// identical.
+func benchSuccessTable(b *testing.B, workers int) {
+	cfg := sim.DefaultCalibration()
+	cfg.MaxUsers = 4
+	cfg.Trials = 2
+	cfg.Workers = workers
+	b.ResetTimer()
+	var table []float64
+	for i := 0; i < b.N; i++ {
+		table = sim.SuccessTableUncached(cfg)
+	}
+	b.ReportMetric(table[0], "success@1user")
+}
+
+func BenchmarkSuccessTableSerial(b *testing.B)   { benchSuccessTable(b, 1) }
+func BenchmarkSuccessTableParallel(b *testing.B) { benchSuccessTable(b, 0) }
 
 func BenchmarkStandardLoRaDemodulate(b *testing.B) {
 	m := lora.MustModem(lora.DefaultParams())

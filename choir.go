@@ -33,6 +33,7 @@ package choir
 import (
 	"choir/internal/channel"
 	ichoir "choir/internal/choir"
+	"choir/internal/exec"
 	"choir/internal/lora"
 	"choir/internal/mac"
 	"choir/internal/radio"
@@ -169,8 +170,37 @@ type (
 // MAC schemes and runner.
 var (
 	RunMAC = mac.Run
+	// RunMACMany executes a batch of independent MAC simulations across a
+	// worker pool; results are identical to calling RunMAC per job.
+	RunMACMany = mac.RunMany
 	// DefaultEnergyModel returns SX1276-class power figures.
 	DefaultEnergyModel = mac.DefaultEnergyModel
+)
+
+// Parallel trial execution (package internal/exec): the engine behind every
+// experiment's Workers knob, exported so external harnesses can fan out
+// their own trials with the same determinism contract.
+type (
+	// WorkerPool runs independent tasks across a bounded set of
+	// goroutines (1 worker = inline serial execution).
+	WorkerPool = exec.Pool
+	// DecoderPool lends out per-goroutine Choir decoders built from one
+	// configuration; decoders are reseeded on checkout so pooled reuse is
+	// deterministic.
+	DecoderPool = exec.DecoderPool
+	// MACJob pairs one MAC configuration with its receiver for RunMACMany.
+	MACJob = mac.Job
+)
+
+// Parallel-execution constructors.
+var (
+	// NewWorkerPool builds a pool of the given width (<= 0 = all CPUs).
+	NewWorkerPool = exec.NewPool
+	// NewDecoderPool validates a decoder configuration and builds a pool.
+	NewDecoderPool = exec.NewDecoderPool
+	// DeriveSeed deterministically mixes a base seed with trial
+	// coordinates, giving every parallel trial an independent stream.
+	DeriveSeed = exec.DeriveSeed
 )
 
 // The three MAC schemes of the evaluation.

@@ -67,8 +67,8 @@ func TestPublicAPIExperiments(t *testing.T) {
 		choir.Fig7Offsets(10, 1),
 		choir.Fig9Throughput(-22, 10),
 		choir.Fig9Range(10),
-		choir.Fig10Resolution([]float64{500, 2000}, 2, 1),
-		choir.Fig11Grouping(6, 3, 1),
+		choir.Fig10Resolution([]float64{500, 2000}, 2, 1, 0),
+		choir.Fig11Grouping(6, 3, 1, 0),
 	}
 	for _, mk := range []func() (*choir.Figure, error){
 		func() (*choir.Figure, error) { return choir.Fig8Users(cfg, choir.MetricThroughput) },

@@ -1,12 +1,16 @@
-// Command choir-decode runs the Choir collision decoder over an IQ trace
-// file produced by choir-gen (or any tool emitting the internal/trace
+// Command choir-decode runs the Choir collision decoder over one or more IQ
+// trace files produced by choir-gen (or any tool emitting the internal/trace
 // format) and prints every separated user. With -team it runs the
-// below-noise team decoder of Sec. 7 instead.
+// below-noise team decoder of Sec. 7 instead. Multiple traces are decoded
+// concurrently across -workers goroutines — decoders are borrowed from a
+// per-PHY pool — and reports are printed in argument order regardless of
+// which finishes first.
 //
 // Usage:
 //
 //	choir-decode collision.iq
 //	choir-decode -team team.iq
+//	choir-decode -workers 4 night/*.iq
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"sync"
 
 	"choir"
 	"choir/internal/trace"
@@ -21,37 +27,81 @@ import (
 
 func main() {
 	team := flag.Bool("team", false, "decode as a coordinated team transmission")
+	workers := flag.Int("workers", 0, "concurrent trace decodes (0 = all CPUs, 1 = serial)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: choir-decode [-team] <trace.iq>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: choir-decode [-team] [-workers n] <trace.iq> [more.iq ...]")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
+	files := flag.Args()
+
+	// One decoder pool per PHY configuration seen in the batch; traces
+	// recorded at different spreading factors each get their own.
+	var mu sync.Mutex
+	pools := map[choir.PHYParams]*choir.DecoderPool{}
+	poolFor := func(p choir.PHYParams) (*choir.DecoderPool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if pool, ok := pools[p]; ok {
+			return pool, nil
+		}
+		pool, err := choir.NewDecoderPool(choir.DefaultDecoderConfig(p))
+		if err != nil {
+			return nil, err
+		}
+		pools[p] = pool
+		return pool, nil
+	}
+
+	reports := make([]string, len(files))
+	errs := make([]error, len(files))
+	choir.NewWorkerPool(*workers).ForEach(len(files), func(i int) {
+		reports[i], errs[i] = decodeTrace(files[i], uint64(i), *team, poolFor)
+	})
+	for i, name := range files {
+		if errs[i] != nil {
+			log.Fatalf("%s: %v", name, errs[i])
+		}
+		if len(files) > 1 {
+			fmt.Printf("== %s ==\n", name)
+		}
+		fmt.Print(reports[i])
+	}
+}
+
+// decodeTrace reads one trace, decodes it with a pooled decoder, and
+// returns the full report as a string so batch output stays ordered.
+func decodeTrace(name string, index uint64, team bool, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
+	f, err := os.Open(name)
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	defer f.Close()
 	h, samples, err := trace.Read(f)
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
-	fmt.Printf("trace: %s, %d samples, payload %d bytes, %d ground-truth users\n",
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "trace: %s, %d samples, payload %d bytes, %d ground-truth users\n",
 		h.Params.SF, len(samples), h.PayloadLen, len(h.Users))
 
-	dec, err := choir.NewDecoder(choir.DefaultDecoderConfig(h.Params))
+	pool, err := poolFor(h.Params)
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
+	dec := pool.Get(choir.DeriveSeed(uint64(h.Params.SF), index))
+	defer pool.Put(dec)
 
 	truth := map[string]bool{}
 	for _, u := range h.Users {
 		truth[u] = true
 	}
 
-	if *team {
+	if team {
 		res, err := dec.DecodeTeam(samples, h.PayloadLen)
 		if err != nil {
-			log.Fatal(err)
+			return "", err
 		}
 		status := "FAILED"
 		if res.Err == nil {
@@ -60,13 +110,13 @@ func main() {
 				status = "WRONG PAYLOAD"
 			}
 		}
-		fmt.Printf("team: %d members detected, payload %x (%s)\n", len(res.Offsets), res.Payload, status)
-		return
+		fmt.Fprintf(&out, "team: %d members detected, payload %x (%s)\n", len(res.Offsets), res.Payload, status)
+		return out.String(), nil
 	}
 
 	res, err := dec.Decode(samples, h.PayloadLen)
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	correct := 0
 	for i, u := range res.Users {
@@ -81,9 +131,10 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("user %d: offset %8.3f bins, payload %x (%s)\n", i, u.Offset, u.Payload, status)
+		fmt.Fprintf(&out, "user %d: offset %8.3f bins, payload %x (%s)\n", i, u.Offset, u.Payload, status)
 	}
 	if len(truth) > 0 {
-		fmt.Printf("recovered %d/%d ground-truth payloads\n", correct, len(truth))
+		fmt.Fprintf(&out, "recovered %d/%d ground-truth payloads\n", correct, len(truth))
 	}
+	return out.String(), nil
 }

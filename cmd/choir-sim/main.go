@@ -25,18 +25,20 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "calibrate the Choir MAC model with the IQ-level decoder")
 	slots := flag.Int("slots", 4000, "MAC simulation length in slots")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	workers := flag.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
 	flag.Parse()
 
 	cfg := choir.DefaultFig8()
 	cfg.Slots = *slots
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if !*calibrate {
 		cfg.Calibration.Trials = 0
 	}
 
 	runners := map[string]func() error{
 		"fig7ab": func() error { choir.Fig7Offsets(30, *seed).Fprint(os.Stdout); return nil },
-		"fig7cd": func() error { choir.Fig7Stability(4, *seed).Fprint(os.Stdout); return nil },
+		"fig7cd": func() error { choir.Fig7Stability(4, *seed, *workers).Fprint(os.Stdout); return nil },
 		"fig8abc": func() error {
 			for _, m := range []choir.ExperimentMetric{choir.MetricThroughput, choir.MetricLatency, choir.MetricTxCount} {
 				fig, err := choir.Fig8SNR(cfg, m)
@@ -54,10 +56,10 @@ func main() {
 		"fig9a": func() error { choir.Fig9Throughput(-22, 30).Fprint(os.Stdout); return nil },
 		"fig9b": func() error { choir.Fig9Range(30).Fprint(os.Stdout); return nil },
 		"fig10": func() error {
-			choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, *seed).Fprint(os.Stdout)
+			choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, *seed, *workers).Fprint(os.Stdout)
 			return nil
 		},
-		"fig11a": func() error { choir.Fig11Grouping(6, 20, *seed).Fprint(os.Stdout); return nil },
+		"fig11a": func() error { choir.Fig11Grouping(6, 20, *seed, *workers).Fprint(os.Stdout); return nil },
 		"fig11b": func() error {
 			fig, err := choir.Fig11Throughput(cfg, 10, 4, 5)
 			if err != nil {
@@ -77,7 +79,9 @@ func main() {
 			return nil
 		},
 		"e2e": func() error {
-			rep, err := choir.EndToEnd(choir.DefaultE2E())
+			e2eCfg := choir.DefaultE2E()
+			e2eCfg.Workers = *workers
+			rep, err := choir.EndToEnd(e2eCfg)
 			if err != nil {
 				return err
 			}

@@ -59,6 +59,6 @@ func main() {
 
 	// Fig. 7(c,d): stability of the tracked offsets across SNR regimes.
 	fmt.Println()
-	choir.Fig7Stability(3, 7).Fprint(os.Stdout)
+	choir.Fig7Stability(3, 7, 0).Fprint(os.Stdout)
 
 }

@@ -45,7 +45,7 @@ func main() {
 	}
 
 	fmt.Println()
-	choir.Fig11Grouping(6, 20, 11).Fprint(os.Stdout)
+	choir.Fig11Grouping(6, 20, 11, 0).Fprint(os.Stdout)
 	fmt.Println()
-	choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, 11).Fprint(os.Stdout)
+	choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, 11, 0).Fprint(os.Stdout)
 }

@@ -459,7 +459,7 @@ func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []us
 	budget := len(ests) + 2
 	for round := 0; round < 2; round++ {
 		spec := d.paddedSpectrum(dech)
-		mags := magnitudes(spec)
+		mags := d.magnitudes(spec)
 		floor := dsp.NoiseFloor(mags)
 		thresh := floor * d.cfg.PeakThreshold
 		if round > 0 {

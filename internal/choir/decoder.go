@@ -111,7 +111,9 @@ func DefaultConfig(p lora.Params) Config {
 // Decoder decodes LoRa collisions. Create one with New; it precomputes FFT
 // plans and chirp tables and may be reused across packets. A Decoder is not
 // safe for concurrent use (it owns scratch buffers); create one per
-// goroutine.
+// goroutine, or borrow per-goroutine instances from an exec.DecoderPool
+// (package internal/exec), which reseeds on checkout via Reseed so pooled
+// reuse never changes results.
 type Decoder struct {
 	cfg    Config
 	modem  *lora.Modem
@@ -125,6 +127,7 @@ type Decoder struct {
 	scratchDech []complex128
 	scratchPad  []complex128
 	scratchSpec []complex128
+	scratchMags []float64
 }
 
 // New validates cfg and builds a decoder.
@@ -171,6 +174,7 @@ func New(cfg Config) (*Decoder, error) {
 		scratchDech: make([]complex128, n),
 		scratchPad:  make([]complex128, padN),
 		scratchSpec: make([]complex128, padN),
+		scratchMags: make([]float64, padN),
 	}, nil
 }
 
@@ -185,6 +189,16 @@ func MustNew(cfg Config) *Decoder {
 
 // Config returns the decoder's configuration.
 func (d *Decoder) Config() Config { return d.cfg }
+
+// Reseed resets the decoder's internal randomness (clustering restarts,
+// fine-search starting points) to the deterministic state New would produce
+// for seed. Decoder pools reseed on checkout so a pooled decoder's results
+// depend only on the trial's derived seed, never on which trials the
+// instance served before.
+func (d *Decoder) Reseed(seed uint64) {
+	d.cfg.Seed = seed
+	d.rng = rand.New(rand.NewPCG(seed, seed^0xC0FFEE))
+}
 
 // User is one transmitter recovered from a collision.
 type User struct {
@@ -271,9 +285,13 @@ func (d *Decoder) paddedSpectrum(dech []complex128) []complex128 {
 	return d.fft.Transform(d.scratchSpec, d.scratchPad)
 }
 
-// magnitudes converts a complex spectrum to magnitudes (allocating).
-func magnitudes(spec []complex128) []float64 {
-	out := make([]float64, len(spec))
+// magnitudes converts a complex spectrum to magnitudes in the decoder's
+// scratch slice (valid until the next call).
+func (d *Decoder) magnitudes(spec []complex128) []float64 {
+	if cap(d.scratchMags) < len(spec) {
+		d.scratchMags = make([]float64, len(spec))
+	}
+	out := d.scratchMags[:len(spec)]
 	for i, v := range spec {
 		out[i] = math.Hypot(real(v), imag(v))
 	}
@@ -283,7 +301,7 @@ func magnitudes(spec []complex128) []float64 {
 // specAt samples a complex padded spectrum at a fractional natural-bin
 // position by nearest-padded-bin lookup.
 func specAt(spec []complex128, bin float64, pad, n int) complex128 {
-	idx := int(math.Round(bin*float64(pad)+0.0)) % (n * pad)
+	idx := int(math.Round(bin*float64(pad))) % (n * pad)
 	if idx < 0 {
 		idx += n * pad
 	}

@@ -113,7 +113,7 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 	perWin := make([][]obs, len(wins))
 	for w, dech := range wins {
 		spec := d.paddedSpectrum(dech)
-		mags := magnitudes(spec)
+		mags := d.magnitudes(spec)
 		floor := dsp.NoiseFloor(mags)
 		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
 			Pad:           d.pad,

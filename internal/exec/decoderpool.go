@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"sync"
+
+	"choir/internal/choir"
+)
+
+// DecoderPool amortizes choir.Decoder construction (FFT plans, chirp
+// tables, scratch buffers) across the trials of a parallel sweep. A
+// Decoder is not safe for concurrent use, so the pool hands each goroutine
+// exclusive ownership of one instance between Get and Put; all instances
+// share one validated Config.
+//
+// Get reseeds the decoder it returns, so results depend only on the seed
+// the caller derives for the trial — never on which goroutine previously
+// used the instance. That is the decoder-ownership half of the engine's
+// determinism contract (the seed half is DeriveSeed).
+type DecoderPool struct {
+	cfg  choir.Config
+	mu   sync.Mutex
+	free []*choir.Decoder
+}
+
+// NewDecoderPool validates cfg by building the first decoder and returns a
+// pool that clones it on demand.
+func NewDecoderPool(cfg choir.Config) (*DecoderPool, error) {
+	d, err := choir.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DecoderPool{cfg: cfg, free: []*choir.Decoder{d}}, nil
+}
+
+// MustNewDecoderPool is NewDecoderPool that panics on error, for call
+// sites whose configuration is known valid.
+func MustNewDecoderPool(cfg choir.Config) *DecoderPool {
+	p, err := NewDecoderPool(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the configuration shared by the pool's decoders.
+func (p *DecoderPool) Config() choir.Config { return p.cfg }
+
+// Get checks a decoder out of the pool, reseeded to the deterministic
+// state New would produce for seed. The caller owns it until Put.
+func (p *DecoderPool) Get(seed uint64) *choir.Decoder {
+	p.mu.Lock()
+	var d *choir.Decoder
+	if n := len(p.free); n > 0 {
+		d, p.free = p.free[n-1], p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if d == nil {
+		// cfg was validated by NewDecoderPool; construction cannot fail.
+		d = choir.MustNew(p.cfg)
+	}
+	d.Reseed(seed)
+	return d
+}
+
+// Put returns a decoder to the pool for reuse.
+func (p *DecoderPool) Put(d *choir.Decoder) {
+	if d == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, d)
+	p.mu.Unlock()
+}
+
+// With checks a decoder out for the duration of fn — the common
+// trial-body shape.
+func (p *DecoderPool) With(seed uint64, fn func(d *choir.Decoder)) {
+	d := p.Get(seed)
+	defer p.Put(d)
+	fn(d)
+}

@@ -1,0 +1,98 @@
+// Package exec is the shared parallel trial-execution engine: a bounded
+// worker pool with deterministic fan-out, a pool of per-goroutine Choir
+// decoders, and a seed-derivation scheme that gives every Monte-Carlo trial
+// its own independent random stream.
+//
+// The engine's contract is that the worker count never changes results:
+// every trial derives its randomness from its logical coordinates
+// (DeriveSeed), writes into its own result slot (Pool.ForEach), and borrows
+// a decoder that is reseeded on checkout (DecoderPool.Get), so a sweep run
+// with Workers=8 is byte-identical to the same sweep run with Workers=1.
+// Callers reduce the indexed results in trial order, which keeps even
+// floating-point accumulation order fixed.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool for fanning trial loops out across CPUs.
+// The zero value is not useful; build one with NewPool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width. workers <= 0 selects
+// GOMAXPROCS, the "use the whole machine" default; workers == 1 runs every
+// task inline on the calling goroutine (the serial baseline).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n) across the pool's workers and
+// returns once all calls have finished. Tasks are handed out dynamically,
+// so callers must not depend on which worker runs which index: fn should
+// write its result into slot i of a preallocated slice and leave shared
+// state alone. A panic in any task is re-raised on the calling goroutine
+// after the remaining workers drain.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Sprintf("exec: task %d panicked: %v", i, r))
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}
+
+// Map runs fn over [0, n) and collects the results in index order — the
+// submit/collect idiom most trial loops need.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

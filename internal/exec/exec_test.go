@@ -1,0 +1,186 @@
+package exec_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"choir/internal/choir"
+	"choir/internal/exec"
+	"choir/internal/lora"
+	"choir/internal/sim"
+)
+
+func TestPoolWorkers(t *testing.T) {
+	if w := exec.NewPool(3).Workers(); w != 3 {
+		t.Errorf("Workers() = %d, want 3", w)
+	}
+	if w := exec.NewPool(0).Workers(); w < 1 {
+		t.Errorf("auto pool width %d < 1", w)
+	}
+	if w := exec.NewPool(-5).Workers(); w < 1 {
+		t.Errorf("negative-request pool width %d < 1", w)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		counts := make([]atomic.Int32, n)
+		exec.NewPool(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	ran := false
+	p := exec.NewPool(4)
+	p.ForEach(0, func(int) { ran = true })
+	p.ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Error("task ran for empty fan-out")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Errorf("panic payload %v lost the cause", r)
+		}
+	}()
+	exec.NewPool(4).ForEach(16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	out := exec.Map(exec.NewPool(8), 64, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDeriveSeedContract(t *testing.T) {
+	if exec.DeriveSeed(1, 2, 3) != exec.DeriveSeed(1, 2, 3) {
+		t.Error("not deterministic")
+	}
+	if exec.DeriveSeed(1, 2, 3) == exec.DeriveSeed(1, 3, 2) {
+		t.Error("dimension order ignored")
+	}
+	if exec.DeriveSeed(1, 2) == exec.DeriveSeed(2, 2) {
+		t.Error("base ignored")
+	}
+	if exec.DeriveSeed(5) == 5 {
+		t.Error("base passed through unmixed")
+	}
+	// The arithmetic scheme this replaces collided across dimensions
+	// (k*1000+trial); the derived scheme must keep a dense grid distinct.
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 50; k++ {
+		for trial := uint64(0); trial < 50; trial++ {
+			s := exec.DeriveSeed(7, k, trial)
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", k, trial)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestDecoderPoolRejectsBadConfig(t *testing.T) {
+	cfg := choir.DefaultConfig(lora.DefaultParams())
+	cfg.Pad = 1
+	if _, err := exec.NewDecoderPool(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDecoderPoolReusesInstances(t *testing.T) {
+	p := exec.MustNewDecoderPool(choir.DefaultConfig(lora.DefaultParams()))
+	d1 := p.Get(1)
+	p.Put(d1)
+	if d2 := p.Get(2); d2 != d1 {
+		t.Error("pooled instance not reused")
+	}
+}
+
+// TestDecoderPoolReseedDeterminism checks the ownership half of the
+// determinism contract: a pooled decoder that already served other trials
+// must decode exactly like a freshly built one, because Get reseeds it.
+// Clustering mode exercises the decoder's internal rng.
+func TestDecoderPoolReseedDeterminism(t *testing.T) {
+	cfg := choir.DefaultConfig(lora.DefaultParams())
+	cfg.UseClustering = true
+	cfg.Seed = 42
+
+	sc := sim.Scenario{Params: cfg.LoRa, PayloadLen: 8, SNRsDB: []float64{20, 16}, Seed: 9}
+	sig, _ := sc.Synthesize()
+
+	fresh := choir.MustNew(cfg)
+	want, err := fresh.Decode(sig, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := exec.MustNewDecoderPool(cfg)
+	// Burn rng state on an unrelated trial, then return the instance.
+	d := p.Get(7)
+	other := sim.Scenario{Params: cfg.LoRa, PayloadLen: 8, SNRsDB: []float64{18}, Seed: 3}
+	osig, _ := other.Synthesize()
+	if _, err := d.Decode(osig, 8); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(d)
+
+	d = p.Get(cfg.Seed) // reseeded to the fresh decoder's state
+	got, err := d.Decode(sig, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(d)
+
+	if len(got.Users) != len(want.Users) {
+		t.Fatalf("pooled decode found %d users, fresh found %d", len(got.Users), len(want.Users))
+	}
+	for i := range want.Users {
+		if got.Users[i].Offset != want.Users[i].Offset {
+			t.Errorf("user %d offset %v != %v", i, got.Users[i].Offset, want.Users[i].Offset)
+		}
+		if string(got.Users[i].Payload) != string(want.Users[i].Payload) {
+			t.Errorf("user %d payload differs", i)
+		}
+	}
+}
+
+// TestDecoderPoolConcurrent hammers the pool from many goroutines so the
+// race detector can see checkout/checkin; every trial must decode its own
+// scenario correctly regardless of interleaving.
+func TestDecoderPoolConcurrent(t *testing.T) {
+	params := lora.DefaultParams()
+	p := exec.MustNewDecoderPool(choir.DefaultConfig(params))
+	var failures atomic.Int32
+	exec.NewPool(8).ForEach(16, func(i int) {
+		seed := exec.DeriveSeed(77, uint64(i))
+		sc := sim.Scenario{Params: params, PayloadLen: 8, SNRsDB: []float64{22, 18}, Seed: seed}
+		dec := p.Get(seed)
+		defer p.Put(dec)
+		if r, n := sc.DecodeWith(dec); n != 2 || r == 0 {
+			failures.Add(1)
+		}
+	})
+	if f := failures.Load(); f > 2 {
+		t.Errorf("%d/16 concurrent trials failed to recover anything", f)
+	}
+}

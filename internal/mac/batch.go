@@ -1,0 +1,38 @@
+package mac
+
+import (
+	"choir/internal/exec"
+)
+
+// This file is the MAC layer's multi-run path: the figure sweeps of package
+// sim run dozens of independent cell simulations (one per scheme × density
+// × regime point), and RunMany fans them out across the trial-execution
+// engine. Each simulation draws all of its randomness from its own
+// Config.Seed, so the result slice is identical for any worker count.
+
+// Job pairs one cell configuration with the receiver model that decodes
+// its slots. Receivers run concurrently when workers > 1, so they must be
+// safe for concurrent use; the built-in AlohaReceiver and ModelReceiver
+// are stateless and qualify.
+type Job struct {
+	Config   Config
+	Receiver Receiver
+}
+
+// RunMany executes the jobs across workers goroutines (<= 0 selects
+// GOMAXPROCS, 1 runs serially) and returns their metrics in job order. If
+// any job fails validation, the first error in job order is returned and
+// the results are discarded.
+func RunMany(jobs []Job, workers int) ([]*Metrics, error) {
+	out := make([]*Metrics, len(jobs))
+	errs := make([]error, len(jobs))
+	exec.NewPool(workers).ForEach(len(jobs), func(i int) {
+		out[i], errs[i] = Run(jobs[i].Config, jobs[i].Receiver)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package mac
+
+import (
+	"reflect"
+	"testing"
+)
+
+func batchTestConfig(seed uint64, scheme Scheme) Config {
+	return Config{
+		Scheme:         scheme,
+		Nodes:          5,
+		Slots:          400,
+		ArrivalPerSlot: 0.5,
+		SlotSeconds:    0.1,
+		PacketBits:     64,
+		Seed:           seed,
+	}
+}
+
+func TestRunManyMatchesRunInOrder(t *testing.T) {
+	var jobs []Job
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, scheme := range []Scheme{SchemeAloha, SchemeOracle, SchemeChoir} {
+			jobs = append(jobs, Job{
+				Config:   batchTestConfig(seed, scheme),
+				Receiver: ModelReceiver{Success: []float64{1, 0.9, 0.8}},
+			})
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := RunMany(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(got), len(jobs))
+		}
+		for i, j := range jobs {
+			want, err := Run(j.Config, j.Receiver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("workers=%d job %d: batch %+v != serial %+v", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestRunManyPropagatesFirstError(t *testing.T) {
+	jobs := []Job{
+		{Config: batchTestConfig(1, SchemeAloha), Receiver: AlohaReceiver{}},
+		{Config: Config{}, Receiver: AlohaReceiver{}}, // invalid
+	}
+	if _, err := RunMany(jobs, 4); err == nil {
+		t.Error("invalid job config not reported")
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	out, err := RunMany(nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("RunMany(nil) = %v, %v", out, err)
+	}
+}

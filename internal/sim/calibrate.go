@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sync"
 
+	"choir/internal/choir"
+	"choir/internal/exec"
 	"choir/internal/lora"
 )
 
@@ -19,6 +22,21 @@ type CalibrationConfig struct {
 	// Regime draws each user's SNR.
 	Regime SNRRegime
 	Seed   uint64
+	// Workers bounds the number of concurrent decode workers (<= 0 uses
+	// every CPU, 1 runs serially). Every trial derives its own seed and
+	// decoder, so the table is identical for any worker count; Workers is
+	// therefore excluded from the memo-cache key.
+	Workers int
+}
+
+// digest returns the cache key for a configuration: a comparable string
+// over every result-affecting field. Keying the sync.Map on a string
+// rather than the struct itself guards against a future non-comparable
+// field (a slice of SNR points, say) panicking the cache, and makes the
+// Workers exclusion explicit.
+func (c CalibrationConfig) digest() string {
+	return fmt.Sprintf("%#v|payload=%d|maxusers=%d|trials=%d|regime=%d|seed=%d",
+		c.Params, c.PayloadLen, c.MaxUsers, c.Trials, int(c.Regime), c.Seed)
 }
 
 // DefaultCalibration returns the calibration used by the figure-8 sweeps.
@@ -36,40 +54,69 @@ func DefaultCalibration() CalibrationConfig {
 // SuccessTable Monte-Carlos the real IQ-level Choir decoder across
 // collision sizes 1..MaxUsers and returns per-size per-user decode rates:
 // table[k-1] is the probability that one specific packet out of k
-// concurrent ones is recovered. Results are memoized per configuration.
+// concurrent ones is recovered. Results are memoized per configuration
+// (ignoring Workers, which cannot affect them).
 func SuccessTable(cfg CalibrationConfig) []float64 {
-	if v, ok := calibCache.Load(cfg); ok {
+	key := cfg.digest()
+	if v, ok := calibCache.Load(key); ok {
 		return v.([]float64)
 	}
+	table := SuccessTableUncached(cfg)
+	calibCache.Store(key, table)
+	return table
+}
+
+// SuccessTableUncached is SuccessTable without the memo cache, for
+// benchmarking the calibration engine itself and for determinism tests
+// that must recompute. The (collision size × trial) grid is fanned out
+// across cfg.Workers goroutines; each trial owns a derived seed, a pooled
+// decoder reseeded on checkout, and a private result slot, and the
+// reduction runs in trial order, so the table is byte-identical for any
+// worker count.
+func SuccessTableUncached(cfg CalibrationConfig) []float64 {
 	table := make([]float64, cfg.MaxUsers)
+	if cfg.MaxUsers <= 0 || cfg.Trials <= 0 {
+		return table
+	}
+	dpool := exec.MustNewDecoderPool(choir.DefaultConfig(cfg.Params))
+	type cell struct{ recovered, total int }
+	cells := exec.Map(exec.NewPool(cfg.Workers), cfg.MaxUsers*cfg.Trials, func(i int) cell {
+		k := i/cfg.Trials + 1
+		trial := i % cfg.Trials
+		seed := exec.DeriveSeed(cfg.Seed, uint64(k), uint64(trial))
+		rng := rand.New(rand.NewPCG(seed, 0xCA11B))
+		snrs := make([]float64, k)
+		for j := range snrs {
+			snrs[j] = cfg.Regime.Sample(rng)
+		}
+		sc := Scenario{
+			Params:     cfg.Params,
+			PayloadLen: cfg.PayloadLen,
+			SNRsDB:     snrs,
+			Seed:       seed,
+		}
+		dec := dpool.Get(exec.DeriveSeed(seed, 0xDEC0DE))
+		defer dpool.Put(dec)
+		r, n := sc.DecodeWith(dec)
+		return cell{recovered: r, total: n}
+	})
 	for k := 1; k <= cfg.MaxUsers; k++ {
 		recovered, total := 0, 0
 		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + uint64(k)*1000 + uint64(trial)
-			rng := rand.New(rand.NewPCG(seed, 0xCA11B))
-			snrs := make([]float64, k)
-			for i := range snrs {
-				snrs[i] = cfg.Regime.Sample(rng)
-			}
-			sc := Scenario{
-				Params:     cfg.Params,
-				PayloadLen: cfg.PayloadLen,
-				SNRsDB:     snrs,
-				Seed:       seed,
-			}
-			r, n := sc.DecodeWithChoir()
-			recovered += r
-			total += n
+			c := cells[(k-1)*cfg.Trials+trial]
+			recovered += c.recovered
+			total += c.total
 		}
 		if total > 0 {
 			table[k-1] = float64(recovered) / float64(total)
 		}
 	}
-	calibCache.Store(cfg, table)
 	return table
 }
 
-var calibCache sync.Map
+// calibCache memoizes SuccessTable results by CalibrationConfig digest.
+// A pointer so tests can swap in a fresh map without copying lock state.
+var calibCache = new(sync.Map)
 
 // AnalyticChoirTable returns a closed-form approximation of the calibrated
 // success table, used where running the IQ decoder for every point would be

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"choir/internal/choir"
+	"choir/internal/exec"
 	"choir/internal/geo"
 	"choir/internal/lora"
 	"choir/internal/mac"
@@ -32,6 +33,11 @@ type E2EConfig struct {
 	ConcurrentIndividuals int
 	// Seed drives placement, shadowing, hardware offsets and noise.
 	Seed uint64
+	// Workers bounds the concurrency of the IQ-level beacon rounds (<= 0
+	// uses every CPU, 1 runs serially). Every round derives its own seed
+	// and borrows a pooled decoder, so the report is identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultE2E returns a 30-sensor deployment, the paper's scale.
@@ -122,16 +128,19 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 	}
 
 	rep := &E2EReport{Sensors: cfg.Sensors, Unreachable: len(unreachable)}
-	dec := choir.MustNew(choir.DefaultConfig(p))
+	dpool := exec.MustNewDecoderPool(choir.DefaultConfig(p))
+	pool := exec.NewPool(cfg.Workers)
 
 	// Partition schedule entries; individual slots are merged into
 	// concurrent beacon rounds of up to ConcurrentIndividuals sensors.
 	var individuals []int
+	var teams []mac.ScheduleEntry
 	for _, e := range schedule {
 		if len(e.Team) == 1 {
 			individuals = append(individuals, e.Team[0])
 			rep.InRange++
 		} else {
+			teams = append(teams, e)
 			rep.Teamed += len(e.Team)
 		}
 	}
@@ -142,55 +151,72 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 		}
 	}
 
-	// Concurrent individual rounds, decoded at IQ level. Batching sensors
-	// of similar strength together keeps the near-far spread within each
-	// collision moderate, as the base station's scheduler would.
+	// Concurrent individual rounds, decoded at IQ level across the worker
+	// pool. Batching sensors of similar strength together keeps the
+	// near-far spread within each collision moderate, as the base
+	// station's scheduler would.
 	sortBySNRDesc(individuals, nodes)
+	var batches [][]int
 	for start := 0; start < len(individuals); start += cfg.ConcurrentIndividuals {
 		end := start + cfg.ConcurrentIndividuals
 		if end > len(individuals) {
 			end = len(individuals)
 		}
-		batch := individuals[start:end]
-		rep.BeaconSlots++
+		batches = append(batches, individuals[start:end])
+	}
+	type roundResult struct{ recovered, total int }
+	indResults := exec.Map(pool, len(batches), func(bi int) roundResult {
+		batch := batches[bi]
 		snrs := make([]float64, len(batch))
 		for i, id := range batch {
 			snrs[i] = nodes[id].snr
 		}
-		sc := Scenario{Params: p, PayloadLen: cfg.PayloadLen, SNRsDB: snrs, Seed: cfg.Seed*1000 + uint64(start)}
-		recovered, total := sc.DecodeWithChoir()
-		rep.IndividualDelivered += recovered
-		rep.IndividualExpected += total
-		if recovered > 0 {
+		seed := exec.DeriveSeed(cfg.Seed, 1, uint64(bi))
+		sc := Scenario{Params: p, PayloadLen: cfg.PayloadLen, SNRsDB: snrs, Seed: seed}
+		dec := dpool.Get(exec.DeriveSeed(seed, 0xDEC0DE))
+		defer dpool.Put(dec)
+		recovered, total := sc.DecodeWith(dec)
+		return roundResult{recovered: recovered, total: total}
+	})
+	for bi, r := range indResults {
+		rep.BeaconSlots++
+		rep.IndividualDelivered += r.recovered
+		rep.IndividualExpected += r.total
+		if r.recovered > 0 {
 			// Attribute served distance optimistically to the batch's
 			// farthest recovered... we lack per-payload identity here, so
 			// credit up to `recovered` farthest members conservatively by
 			// crediting the nearest ones first.
-			ids := append([]int(nil), batch...)
+			ids := append([]int(nil), batches[bi]...)
 			sortByDist(ids, nodes)
-			for i := 0; i < recovered && i < len(ids); i++ {
+			for i := 0; i < r.recovered && i < len(ids); i++ {
 				served(ids[i])
 			}
 		}
 	}
 
-	// Team rounds: identical payloads, below-noise joint decoding.
-	for _, e := range schedule {
-		if len(e.Team) < 2 {
-			continue
-		}
-		rep.BeaconSlots++
-		rep.TeamsExpected++
+	// Team rounds: identical payloads, below-noise joint decoding, fanned
+	// out the same way.
+	delivered := exec.Map(pool, len(teams), func(ti int) bool {
+		e := teams[ti]
 		snrs := make([]float64, len(e.Team))
 		for i, id := range e.Team {
 			snrs[i] = nodes[id].snr
 		}
-		sc := Scenario{Params: p, PayloadLen: cfg.PayloadLen, SNRsDB: snrs, Identical: true, Seed: cfg.Seed*2000 + uint64(e.Team[0])}
+		seed := exec.DeriveSeed(cfg.Seed, 2, uint64(e.Team[0]))
+		sc := Scenario{Params: p, PayloadLen: cfg.PayloadLen, SNRsDB: snrs, Identical: true, Seed: seed}
 		sig, payloads := sc.Synthesize()
+		dec := dpool.Get(exec.DeriveSeed(seed, 0xDEC0DE))
+		defer dpool.Put(dec)
 		res, err := dec.DecodeTeam(sig, cfg.PayloadLen)
-		if err == nil && res.Err == nil && string(res.Payload) == string(payloads[0]) {
+		return err == nil && res.Err == nil && string(res.Payload) == string(payloads[0])
+	})
+	for ti, ok := range delivered {
+		rep.BeaconSlots++
+		rep.TeamsExpected++
+		if ok {
 			rep.TeamsDelivered++
-			for _, id := range e.Team {
+			for _, id := range teams[ti].Team {
 				served(id)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"choir/internal/channel"
+	"choir/internal/exec"
 	"choir/internal/geo"
 	"choir/internal/lora"
 	"choir/internal/mac"
@@ -33,8 +34,11 @@ func RequiredTeamSize(d float64, maxTeam int) int {
 // error per user versus the team's distance from the base station, for
 // temperature and humidity. Farther teams need more members to be heard at
 // all; more members span more of the field and share fewer most-significant
-// bits, so resolution degrades gracefully with distance.
-func Fig10Resolution(distances []float64, trials int, seed uint64) *Figure {
+// bits, so resolution degrades gracefully with distance. The (distance ×
+// trial) grid fans out across workers goroutines (<= 0 uses every CPU);
+// both sensor kinds reuse each trial's random stream so the comparison
+// stays paired, and results are identical for any worker count.
+func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) *Figure {
 	fig := &Figure{
 		ID:     "Fig 10",
 		Title:  "sensor-data resolution vs distance",
@@ -42,33 +46,41 @@ func Fig10Resolution(distances []float64, trials int, seed uint64) *Figure {
 		YLabel: "avg normalized error per user",
 	}
 	b := geo.NewBuilding(geo.DefaultBuilding(geo.Point{}), rand.New(rand.NewPCG(seed, 0xB11D)))
-	for _, kind := range []sensor.Kind{sensor.Humidity, sensor.Temperature} {
-		f := sensor.TemperatureField()
-		if kind == sensor.Humidity {
-			f = sensor.HumidityField()
+	kinds := []sensor.Kind{sensor.Humidity, sensor.Temperature}
+	fields := []sensor.Field{sensor.HumidityField(), sensor.TemperatureField()}
+	// One task per (distance, trial); each returns the per-team errors of
+	// every kind, drawn from identical per-kind random streams.
+	perTrial := exec.Map(exec.NewPool(workers), len(distances)*trials, func(i int) [][]float64 {
+		di := i / trials
+		trial := i % trials
+		team := RequiredTeamSize(distances[di], 30)
+		out := make([][]float64, len(kinds))
+		for ki, f := range fields {
+			rng := rand.New(rand.NewPCG(exec.DeriveSeed(seed, uint64(di), uint64(trial)), 0xF16_10))
+			for _, g := range sensor.Group(b, sensor.GroupByCenterDistance, team, rng) {
+				if len(g) < team {
+					continue
+				}
+				e, _ := sensor.TeamError(f, b, g, rng)
+				out[ki] = append(out[ki], e)
+			}
 		}
+		return out
+	})
+	for ki, kind := range kinds {
 		var s Series
 		s.Name = kind.String()
-		for _, d := range distances {
-			team := RequiredTeamSize(d, 30)
-			var errs []float64
+		for di, d := range distances {
+			var mean float64
+			cnt := 0
 			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewPCG(seed+uint64(trial), uint64(d)))
-				groups := sensor.Group(b, sensor.GroupByCenterDistance, team, rng)
-				for _, g := range groups {
-					if len(g) < team {
-						continue
-					}
-					e, _ := sensor.TeamError(f, b, g, rng)
-					errs = append(errs, e)
+				for _, e := range perTrial[di*trials+trial][ki] {
+					mean += e
+					cnt++
 				}
 			}
-			var mean float64
-			if len(errs) > 0 {
-				for _, e := range errs {
-					mean += e
-				}
-				mean /= float64(len(errs))
+			if cnt > 0 {
+				mean /= float64(cnt)
 			}
 			s.X = append(s.X, d)
 			s.Y = append(s.Y, mean)
@@ -80,8 +92,10 @@ func Fig10Resolution(distances []float64, trials int, seed uint64) *Figure {
 
 // Fig11Grouping reproduces Fig. 11(a): the reconstruction error of team
 // transmissions under the three grouping strategies, for temperature and
-// humidity.
-func Fig11Grouping(teamSize, trials int, seed uint64) *Figure {
+// humidity. The (strategy × trial) grid fans out across workers
+// goroutines (<= 0 uses every CPU) with the same paired-stream and
+// order-fixed reduction contract as Fig10Resolution.
+func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
 	fig := &Figure{
 		ID:     "Fig 11(a)",
 		Title:  "sensor-data error by grouping strategy",
@@ -89,20 +103,30 @@ func Fig11Grouping(teamSize, trials int, seed uint64) *Figure {
 		YLabel: "normalized error",
 	}
 	b := geo.NewBuilding(geo.DefaultBuilding(geo.Point{}), rand.New(rand.NewPCG(seed, 0xB11A)))
-	for _, kind := range []sensor.Kind{sensor.Humidity, sensor.Temperature} {
-		f := sensor.TemperatureField()
-		if kind == sensor.Humidity {
-			f = sensor.HumidityField()
+	kinds := []sensor.Kind{sensor.Humidity, sensor.Temperature}
+	fields := []sensor.Field{sensor.HumidityField(), sensor.TemperatureField()}
+	strategies := []sensor.GroupStrategy{sensor.GroupRandom, sensor.GroupByFloor, sensor.GroupByCenterDistance}
+	perTrial := exec.Map(exec.NewPool(workers), len(strategies)*trials, func(i int) [][]float64 {
+		si := i / trials
+		trial := i % trials
+		out := make([][]float64, len(kinds))
+		for ki, f := range fields {
+			rng := rand.New(rand.NewPCG(exec.DeriveSeed(seed, uint64(si), uint64(trial)), 0xF16_11))
+			for _, g := range sensor.Group(b, strategies[si], teamSize, rng) {
+				e, _ := sensor.TeamError(f, b, g, rng)
+				out[ki] = append(out[ki], e)
+			}
 		}
+		return out
+	})
+	for ki, kind := range kinds {
 		var s Series
 		s.Name = kind.String()
-		for si, strat := range []sensor.GroupStrategy{sensor.GroupRandom, sensor.GroupByFloor, sensor.GroupByCenterDistance} {
+		for si := range strategies {
 			var sum float64
 			cnt := 0
 			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewPCG(seed+uint64(trial), uint64(si)))
-				for _, g := range sensor.Group(b, strat, teamSize, rng) {
-					e, _ := sensor.TeamError(f, b, g, rng)
+				for _, e := range perTrial[si*trials+trial][ki] {
 					sum += e
 					cnt++
 				}
@@ -133,16 +157,21 @@ func Fig11Throughput(cfg Fig8Config, nearNodes, farTeams, teamSize int) (*Figure
 	}
 	var s Series
 	s.Name = "network"
-	for si, scheme := range []mac.Scheme{mac.SchemeAloha, mac.SchemeOracle, mac.SchemeChoir} {
+	schemes := []mac.Scheme{mac.SchemeAloha, mac.SchemeOracle, mac.SchemeChoir}
+	var jobs []mac.Job
+	for _, scheme := range schemes {
 		var rx mac.Receiver = mac.AlohaReceiver{}
 		if scheme == mac.SchemeChoir {
 			rx = mac.ModelReceiver{Success: cfg.choirTable(cfg.Calibration.Regime)}
 		}
-		m, err := mac.Run(cfg.macConfig(scheme, nearNodes, p, payloadLen), rx)
-		if err != nil {
-			return nil, err
-		}
-		tput := m.ThroughputBps()
+		jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, nearNodes, p, payloadLen), Receiver: rx})
+	}
+	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for si, scheme := range schemes {
+		tput := metrics[si].ThroughputBps()
 		if scheme == mac.SchemeChoir {
 			// One beacon slot in beaconPeriod is spent collecting each far
 			// team's reading; the recovered shared-MSB chunk carries

@@ -62,11 +62,15 @@ func Fig12MUMIMO(cfg Fig12Config) (*Figure, error) {
 	}
 	var s Series
 	s.Name = "network"
+	jobs := make([]mac.Job, len(systems))
 	for si, sys := range systems {
-		m, err := mac.Run(f8.macConfig(sys.scheme, cfg.Users, p, payloadLen), sys.rx)
-		if err != nil {
-			return nil, err
-		}
+		jobs[si] = mac.Job{Config: f8.macConfig(sys.scheme, cfg.Users, p, payloadLen), Receiver: sys.rx}
+	}
+	metrics, err := mac.RunMany(jobs, f8.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for si, m := range metrics {
 		s.X = append(s.X, float64(si))
 		s.Y = append(s.Y, m.ThroughputBps())
 	}

@@ -6,6 +6,7 @@ import (
 
 	"choir/internal/choir"
 	"choir/internal/dsp"
+	"choir/internal/exec"
 	"choir/internal/lora"
 	"choir/internal/radio"
 )
@@ -65,8 +66,9 @@ func fracPart(v float64) float64 {
 // estimates the decoder tracks, across the three SNR regimes. Pairs of
 // radios collide; the decoder's WindowOffsets give the per-symbol offset
 // track whose RMS deviation (relative to the packet-level estimate) is the
-// reported instability.
-func Fig7Stability(pairsPerRegime int, seed uint64) *Figure {
+// reported instability. The (regime × pair) trials fan out across workers
+// goroutines (<= 0 uses every CPU); results are identical for any count.
+func Fig7Stability(pairsPerRegime int, seed uint64, workers int) *Figure {
 	p := lora.DefaultParams()
 	binHz := p.Bandwidth / float64(p.N())
 	fig := &Figure{
@@ -75,36 +77,49 @@ func Fig7Stability(pairsPerRegime int, seed uint64) *Figure {
 		XLabel: "regime(0=Low,1=Medium,2=High)",
 		YLabel: "stdev of offset (Hz) / timing (us)",
 	}
+	regimes := []SNRRegime{LowSNR, MediumSNR, HighSNR}
+	dpool := exec.MustNewDecoderPool(choir.DefaultConfig(p))
+	// One trial per (regime, pair); each returns the per-user RMS offset
+	// deviations of one decoded collision.
+	perTrial := exec.Map(exec.NewPool(workers), len(regimes)*pairsPerRegime, func(i int) []float64 {
+		ri := i / pairsPerRegime
+		trial := i % pairsPerRegime
+		s := exec.DeriveSeed(seed, uint64(ri), uint64(trial))
+		rng := rand.New(rand.NewPCG(s, 0x57AB))
+		sc := Scenario{
+			Params:     p,
+			PayloadLen: 8,
+			SNRsDB:     []float64{regimes[ri].Sample(rng), regimes[ri].Sample(rng)},
+			Seed:       s,
+		}
+		sig, _ := sc.Synthesize()
+		dec := dpool.Get(exec.DeriveSeed(s, 0xDEC0DE))
+		defer dpool.Put(dec)
+		res, err := dec.Decode(sig, 8)
+		if err != nil {
+			return nil
+		}
+		var devs []float64
+		for _, u := range res.Users {
+			if len(u.WindowOffsets) < 4 {
+				continue
+			}
+			var d []float64
+			for _, w := range u.WindowOffsets {
+				d = append(d, dsp.CircularBinDist(w, u.Offset, float64(p.N())))
+			}
+			devs = append(devs, dsp.RMS(d))
+		}
+		return devs
+	})
 	var freqS, timeS Series
 	freqS.Name = "stdev CFO+TO (Hz)"
 	timeS.Name = "stdev relative TO (us)"
-	for ri, regime := range []SNRRegime{LowSNR, MediumSNR, HighSNR} {
+	for ri := range regimes {
+		// Reduce in trial order so the mean's accumulation order is fixed.
 		var devs []float64
 		for trial := 0; trial < pairsPerRegime; trial++ {
-			s := seed + uint64(ri*1000+trial)
-			rng := rand.New(rand.NewPCG(s, 0x57AB))
-			sc := Scenario{
-				Params:     p,
-				PayloadLen: 8,
-				SNRsDB:     []float64{regime.Sample(rng), regime.Sample(rng)},
-				Seed:       s,
-			}
-			sig, _ := sc.Synthesize()
-			dec := choir.MustNew(choir.DefaultConfig(p))
-			res, err := dec.Decode(sig, 8)
-			if err != nil {
-				continue
-			}
-			for _, u := range res.Users {
-				if len(u.WindowOffsets) < 4 {
-					continue
-				}
-				var d []float64
-				for _, w := range u.WindowOffsets {
-					d = append(d, dsp.CircularBinDist(w, u.Offset, float64(p.N())))
-				}
-				devs = append(devs, dsp.RMS(d))
-			}
+			devs = append(devs, perTrial[ri*pairsPerRegime+trial]...)
 		}
 		stdevBins := dsp.Mean(devs)
 		freqS.X = append(freqS.X, float64(ri))

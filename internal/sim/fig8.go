@@ -16,6 +16,10 @@ type Fig8Config struct {
 	// replaces IQ-level calibration with the analytic model (fast sweeps).
 	Calibration CalibrationConfig
 	Seed        uint64
+	// Workers bounds the concurrency of the sweep's MAC runs and of the
+	// IQ-level calibration behind them (<= 0 uses every CPU, 1 runs
+	// serially). Results are identical for any worker count.
+	Workers int
 }
 
 // DefaultFig8 returns the configuration used by the benchmarks.
@@ -30,6 +34,7 @@ func (c Fig8Config) choirTable(regime SNRRegime) []float64 {
 	}
 	cal := c.Calibration
 	cal.Regime = regime
+	cal.Workers = c.Workers
 	return SuccessTable(cal)
 }
 
@@ -104,20 +109,31 @@ func Fig8SNR(cfg Fig8Config, which Metric) (*Figure, error) {
 	for i, s := range schemes {
 		series[i].Name = s.String()
 	}
-	for ri, regime := range []SNRRegime{LowSNR, MediumSNR, HighSNR} {
+	regimes := []SNRRegime{LowSNR, MediumSNR, HighSNR}
+	// Calibrate every regime's success table first (itself a parallel
+	// Monte-Carlo), then submit the regime × scheme grid of cell
+	// simulations to the MAC batch runner and collect in order.
+	var jobs []mac.Job
+	for _, regime := range regimes {
 		// Representative SNR for rate adaptation: middle of the regime.
 		p, _ := RateForSNR(regime.Mid())
 		payloadLen := cfg.Calibration.PayloadLen
 		table := cfg.choirTable(regime)
-		for si, scheme := range schemes {
+		for _, scheme := range schemes {
 			var rx mac.Receiver = mac.AlohaReceiver{}
 			if scheme == mac.SchemeChoir {
 				rx = mac.ModelReceiver{Success: table}
 			}
-			m, err := mac.Run(cfg.macConfig(scheme, 2, p, payloadLen), rx)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, 2, p, payloadLen), Receiver: rx})
+		}
+	}
+	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for ri := range regimes {
+		for si := range schemes {
+			m := metrics[ri*len(schemes)+si]
 			series[si].X = append(series[si].X, float64(ri))
 			series[si].Y = append(series[si].Y, metricOf(m, which))
 		}
@@ -149,16 +165,24 @@ func Fig8Users(cfg Fig8Config, which Metric) (*Figure, error) {
 	ideal.Name = "Ideal"
 	slotSeconds := p.AirTime(payloadLen) * 1.1
 
-	for users := 2; users <= 10; users++ {
-		for si, scheme := range schemes {
+	const minUsers, maxUsers = 2, 10
+	var jobs []mac.Job
+	for users := minUsers; users <= maxUsers; users++ {
+		for _, scheme := range schemes {
 			var rx mac.Receiver = mac.AlohaReceiver{}
 			if scheme == mac.SchemeChoir {
 				rx = mac.ModelReceiver{Success: table}
 			}
-			m, err := mac.Run(cfg.macConfig(scheme, users, p, payloadLen), rx)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, users, p, payloadLen), Receiver: rx})
+		}
+	}
+	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for users := minUsers; users <= maxUsers; users++ {
+		for si := range schemes {
+			m := metrics[(users-minUsers)*len(schemes)+si]
 			series[si].X = append(series[si].X, float64(users))
 			series[si].Y = append(series[si].Y, metricOf(m, which))
 		}

@@ -176,10 +176,19 @@ func (s Scenario) Synthesize() ([]complex128, [][]byte) {
 }
 
 // DecodeWithChoir runs the Choir decoder on the scenario and reports how
-// many of the transmitted payloads were recovered.
+// many of the transmitted payloads were recovered. It builds a throwaway
+// decoder; trial loops should use DecodeWith with an exec.DecoderPool
+// instance instead, which amortizes FFT-plan construction across trials.
 func (s Scenario) DecodeWithChoir() (recovered int, total int) {
+	return s.DecodeWith(choir.MustNew(choir.DefaultConfig(s.Params)))
+}
+
+// DecodeWith runs the supplied Choir decoder — typically checked out of an
+// exec.DecoderPool for the trial — on the scenario and reports how many of
+// the transmitted payloads were recovered. The decoder must be built for
+// s.Params.
+func (s Scenario) DecodeWith(dec *choir.Decoder) (recovered int, total int) {
 	sig, payloads := s.Synthesize()
-	dec := choir.MustNew(choir.DefaultConfig(s.Params))
 	res, err := dec.Decode(sig, s.PayloadLen)
 	if err != nil {
 		return 0, len(payloads)

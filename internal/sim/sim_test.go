@@ -131,7 +131,7 @@ func TestFig7OffsetsCDF(t *testing.T) {
 }
 
 func TestFig7StabilityImprovesWithSNR(t *testing.T) {
-	fig := Fig7Stability(2, 5)
+	fig := Fig7Stability(2, 5, 0)
 	fs := fig.SeriesAt("stdev CFO+TO (Hz)")
 	if fs == nil || len(fs.Y) != 3 {
 		t.Fatalf("bad stability series: %+v", fig)
@@ -268,7 +268,7 @@ func TestValidateTeamDecodeAtOperatingPoint(t *testing.T) {
 }
 
 func TestFig10ResolutionDegradesWithDistance(t *testing.T) {
-	fig := Fig10Resolution([]float64{200, 800, 1600, 2400}, 3, 1)
+	fig := Fig10Resolution([]float64{200, 800, 1600, 2400}, 3, 1, 0)
 	for _, s := range fig.Series {
 		if s.Y[len(s.Y)-1] <= s.Y[0] {
 			t.Errorf("%s: error at 2.4 km (%.4f) not above error at 200 m (%.4f)", s.Name, s.Y[len(s.Y)-1], s.Y[0])
@@ -282,7 +282,7 @@ func TestFig10ResolutionDegradesWithDistance(t *testing.T) {
 }
 
 func TestFig11GroupingOrder(t *testing.T) {
-	fig := Fig11Grouping(6, 10, 2)
+	fig := Fig11Grouping(6, 10, 2, 0)
 	for _, s := range fig.Series {
 		random, center := s.Y[0], s.Y[2]
 		if center >= random {
