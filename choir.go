@@ -34,6 +34,7 @@ import (
 	"choir/internal/channel"
 	ichoir "choir/internal/choir"
 	"choir/internal/exec"
+	"choir/internal/fault"
 	"choir/internal/lora"
 	"choir/internal/mac"
 	"choir/internal/radio"
@@ -102,7 +103,8 @@ type (
 	OffsetSplit = ichoir.OffsetSplit
 )
 
-// Decoder constructors and sentinel errors.
+// Decoder constructors and sentinel errors. The Err* sentinels form the
+// decoder's error taxonomy: classify outcomes with errors.Is.
 var (
 	// NewDecoder validates the configuration and builds a decoder.
 	NewDecoder = ichoir.New
@@ -114,6 +116,13 @@ var (
 	ErrNotDetected = ichoir.ErrNotDetected
 	// ErrNoSFD reports that the PHY carries no down-chirp SFD.
 	ErrNoSFD = ichoir.ErrNoSFD
+	// ErrBadIQ reports non-finite (NaN/Inf) samples in the input.
+	ErrBadIQ = ichoir.ErrBadIQ
+	// ErrSaturated reports a severely clipped (ADC-railed) capture.
+	ErrSaturated = ichoir.ErrSaturated
+	// ErrTrackingLost marks a user whose offset fingerprint vanished from
+	// most data windows (recorded per user in DecodedUser.Err).
+	ErrTrackingLost = ichoir.ErrTrackingLost
 	// NewMultiSFDecoder builds one Choir decoder per spreading factor.
 	NewMultiSFDecoder = ichoir.NewMultiSF
 	// AntennaDiversityGain is the selection-diversity success model used by
@@ -210,6 +219,41 @@ const (
 	SchemeChoir  = mac.SchemeChoir
 )
 
+// Fault injection (package internal/fault): deterministic, seeded IQ
+// corruption at the channel boundary, for robustness experiments and
+// regression tests of the decoder's graceful degradation.
+type (
+	// FaultInjector corrupts IQ sample streams with one fault class at a
+	// fixed intensity; all randomness comes from the seed passed to Apply.
+	FaultInjector = fault.Injector
+	// FaultClass identifies one fault family (clip, drop, interferer,
+	// drift, truncate).
+	FaultClass = fault.Class
+	// FaultChain composes injectors, deriving a distinct sub-seed per
+	// element.
+	FaultChain = fault.Chain
+)
+
+// Fault constructors and helpers.
+var (
+	// NewFault builds an injector for a class at an intensity in [0, 1];
+	// intensity 0 is an exact no-op.
+	NewFault = fault.New
+	// ParseFaultClass parses a class name as printed by FaultClass.String.
+	ParseFaultClass = fault.ParseClass
+	// FaultClasses returns every fault class.
+	FaultClasses = fault.Classes
+)
+
+// The injectable fault classes.
+const (
+	FaultClip       = fault.Clip
+	FaultDropBurst  = fault.DropBurst
+	FaultInterferer = fault.Interferer
+	FaultDriftStep  = fault.DriftStep
+	FaultTruncate   = fault.Truncate
+)
+
 // Experiments (package internal/sim): every figure of Sec. 9.
 type (
 	// Figure is a reproduced paper figure (series over an x axis).
@@ -228,6 +272,8 @@ type (
 	E2EConfig = sim.E2EConfig
 	// E2EReport summarizes an end-to-end deployment run.
 	E2EReport = sim.E2EReport
+	// FaultSweepConfig parameterizes the decode-robustness sweep.
+	FaultSweepConfig = sim.FaultSweepConfig
 )
 
 // Experiment entry points, one per paper figure.
@@ -250,6 +296,10 @@ var (
 	// IQ-level collision and team decoding) in one experiment.
 	EndToEnd   = sim.EndToEnd
 	DefaultE2E = sim.DefaultE2E
+	// FaultSweep measures decode success versus fault intensity per class,
+	// deterministically for any worker count.
+	FaultSweep        = sim.FaultSweep
+	DefaultFaultSweep = sim.DefaultFaultSweep
 )
 
 // Metrics selectors for Fig8* experiments.

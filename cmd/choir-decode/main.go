@@ -6,11 +6,16 @@
 // per-PHY pool — and reports are printed in argument order regardless of
 // which finishes first.
 //
+// With -fault/-fault-rate the trace's IQ is corrupted before decoding —
+// deterministic per input index — to exercise the decoder's graceful
+// degradation on recorded captures.
+//
 // Usage:
 //
 //	choir-decode collision.iq
 //	choir-decode -team team.iq
 //	choir-decode -workers 4 night/*.iq
+//	choir-decode -fault interferer -fault-rate 0.3 collision.iq
 package main
 
 import (
@@ -28,12 +33,25 @@ import (
 func main() {
 	team := flag.Bool("team", false, "decode as a coordinated team transmission")
 	workers := flag.Int("workers", 0, "concurrent trace decodes (0 = all CPUs, 1 = serial)")
+	faultClass := flag.String("fault", "", "inject a fault before decoding: clip, drop, interferer, drift, or truncate")
+	faultRate := flag.Float64("fault-rate", 0.3, "fault intensity in [0,1] for -fault")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: choir-decode [-team] [-workers n] <trace.iq> [more.iq ...]")
+		fmt.Fprintln(os.Stderr, "usage: choir-decode [-team] [-workers n] [-fault class -fault-rate r] <trace.iq> [more.iq ...]")
 		os.Exit(2)
 	}
 	files := flag.Args()
+
+	var inj choir.FaultInjector
+	if *faultClass != "" {
+		class, err := choir.ParseFaultClass(*faultClass)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inj, err = choir.NewFault(class, *faultRate); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// One decoder pool per PHY configuration seen in the batch; traces
 	// recorded at different spreading factors each get their own.
@@ -56,7 +74,7 @@ func main() {
 	reports := make([]string, len(files))
 	errs := make([]error, len(files))
 	choir.NewWorkerPool(*workers).ForEach(len(files), func(i int) {
-		reports[i], errs[i] = decodeTrace(files[i], uint64(i), *team, poolFor)
+		reports[i], errs[i] = decodeTrace(files[i], uint64(i), *team, inj, poolFor)
 	})
 	for i, name := range files {
 		if errs[i] != nil {
@@ -69,9 +87,10 @@ func main() {
 	}
 }
 
-// decodeTrace reads one trace, decodes it with a pooled decoder, and
-// returns the full report as a string so batch output stays ordered.
-func decodeTrace(name string, index uint64, team bool, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
+// decodeTrace reads one trace, optionally corrupts it with inj, decodes it
+// with a pooled decoder, and returns the full report as a string so batch
+// output stays ordered.
+func decodeTrace(name string, index uint64, team bool, inj choir.FaultInjector, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return "", err
@@ -85,6 +104,11 @@ func decodeTrace(name string, index uint64, team bool, poolFor func(choir.PHYPar
 	var out strings.Builder
 	fmt.Fprintf(&out, "trace: %s, %d samples, payload %d bytes, %d ground-truth users\n",
 		h.Params.SF, len(samples), h.PayloadLen, len(h.Users))
+	if inj != nil {
+		samples = inj.Apply(samples, choir.DeriveSeed(0xFA017, index))
+		fmt.Fprintf(&out, "fault: %s at intensity %g, %d samples survive\n",
+			inj.Class(), inj.Intensity(), len(samples))
+	}
 
 	pool, err := poolFor(h.Params)
 	if err != nil {
@@ -101,7 +125,11 @@ func decodeTrace(name string, index uint64, team bool, poolFor func(choir.PHYPar
 	if team {
 		res, err := dec.DecodeTeam(samples, h.PayloadLen)
 		if err != nil {
-			return "", err
+			// A failed decode is a result, not a tool failure — under
+			// injected faults it is often the expected outcome, and one
+			// undecodable trace must not abort a batch.
+			fmt.Fprintf(&out, "decode failed: %v\n", err)
+			return out.String(), nil
 		}
 		status := "FAILED"
 		if res.Err == nil {
@@ -116,7 +144,8 @@ func decodeTrace(name string, index uint64, team bool, poolFor func(choir.PHYPar
 
 	res, err := dec.Decode(samples, h.PayloadLen)
 	if err != nil {
-		return "", err
+		fmt.Fprintf(&out, "decode failed: %v\n", err)
+		return out.String(), nil
 	}
 	correct := 0
 	for i, u := range res.Users {

@@ -6,9 +6,10 @@
 //	choir-sim -exp fig8d              # one experiment
 //	choir-sim -exp all                # everything (slow with -calibrate)
 //	choir-sim -exp fig8d -calibrate   # drive Choir with IQ-level Monte-Carlo
+//	choir-sim -exp faultsweep -fault drop -fault-rate 0.4
 //
 // Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
-// fig11a fig11b fig12 headline all
+// fig11a fig11b fig12 e2e faultsweep headline all
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 	slots := flag.Int("slots", 4000, "MAC simulation length in slots")
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	workers := flag.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
+	faultClass := flag.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
+	faultRate := flag.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
 	flag.Parse()
 
 	cfg := choir.DefaultFig8()
@@ -88,6 +91,29 @@ func main() {
 			fmt.Println(rep)
 			return nil
 		},
+		"faultsweep": func() error {
+			fs := choir.DefaultFaultSweep()
+			fs.Seed = *seed
+			fs.Workers = *workers
+			if *faultClass != "all" {
+				c, err := choir.ParseFaultClass(*faultClass)
+				if err != nil {
+					return err
+				}
+				fs.Classes = []choir.FaultClass{c}
+			}
+			if *faultRate != 0 {
+				// A single requested rate still carries the zero-intensity
+				// anchor so the unfaulted baseline prints alongside it.
+				fs.Intensities = []float64{0, *faultRate}
+			}
+			fig, err := choir.FaultSweep(fs)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		},
 		"headline": func() error {
 			h, err := choir.ComputeHeadline(cfg)
 			if err != nil {
@@ -103,7 +129,7 @@ func main() {
 	}
 
 	order := []string{"fig7ab", "fig7cd", "fig8abc", "fig8d", "fig8e", "fig8f",
-		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "headline"}
+		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline"}
 
 	if *exp == "all" {
 		for _, id := range order {

@@ -103,8 +103,10 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 		payload, _, err := lora.DecodeSymbols(u.Symbols, payloadLen, p)
 		u.Payload = payload
 		u.Err = err
-		if err == nil && missing[ui] > nsym/2 {
-			u.Err = fmt.Errorf("choir: lost track of user in %d/%d windows", missing[ui], nsym)
+		// Losing most windows IS the failure; a CRC mismatch over invented
+		// symbols is only its symptom, so the tracking-lost diagnosis wins.
+		if missing[ui] > nsym/2 {
+			u.Err = fmt.Errorf("%w in %d/%d windows", ErrTrackingLost, missing[ui], nsym)
 			u.Payload = nil
 		}
 	}

@@ -144,16 +144,34 @@ func New(cfg Config) (*Decoder, error) {
 	if cfg.PeakThreshold <= 1 {
 		return nil, fmt.Errorf("choir: PeakThreshold %g must exceed 1", cfg.PeakThreshold)
 	}
-	if cfg.FineIters <= 0 {
+	// Tunables default on zero but error on anything invalid: silently
+	// clamping a negative or NaN value would mask a caller bug as the
+	// default behavior.
+	if cfg.FineIters < 0 {
+		return nil, fmt.Errorf("choir: FineIters %d < 0", cfg.FineIters)
+	}
+	if cfg.FineIters == 0 {
 		cfg.FineIters = 16
 	}
-	if cfg.MatchTolerance <= 0 {
+	if cfg.SICPhases < 0 {
+		return nil, fmt.Errorf("choir: SICPhases %d < 0", cfg.SICPhases)
+	}
+	if cfg.MatchTolerance < 0 || math.IsNaN(cfg.MatchTolerance) {
+		return nil, fmt.Errorf("choir: MatchTolerance %g < 0", cfg.MatchTolerance)
+	}
+	if cfg.MatchTolerance == 0 {
 		cfg.MatchTolerance = 0.07
 	}
-	if cfg.DynamicRangeDB <= 0 {
+	if cfg.DynamicRangeDB < 0 || math.IsNaN(cfg.DynamicRangeDB) {
+		return nil, fmt.Errorf("choir: DynamicRangeDB %g < 0", cfg.DynamicRangeDB)
+	}
+	if cfg.DynamicRangeDB == 0 {
 		cfg.DynamicRangeDB = 10
 	}
-	if cfg.TotalDynamicRangeDB <= 0 {
+	if cfg.TotalDynamicRangeDB < 0 || math.IsNaN(cfg.TotalDynamicRangeDB) {
+		return nil, fmt.Errorf("choir: TotalDynamicRangeDB %g < 0", cfg.TotalDynamicRangeDB)
+	}
+	if cfg.TotalDynamicRangeDB == 0 {
 		cfg.TotalDynamicRangeDB = 35
 	}
 	modem, err := lora.NewModem(cfg.LoRa)
@@ -260,6 +278,9 @@ func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) 
 	need := p.FrameSamples(payloadLen)
 	if len(samples) < need {
 		return nil, fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+	}
+	if err := validateIQ(samples); err != nil {
+		return nil, err
 	}
 	ests := d.estimatePreamble(samples)
 	if len(ests) == 0 {

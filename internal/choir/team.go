@@ -41,6 +41,9 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 	if len(samples) < p.PreambleLen*d.n {
 		return nil, fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), p.PreambleLen*d.n)
 	}
+	if err := validateIQ(samples); err != nil {
+		return nil, err
+	}
 	acc := make([]float64, d.padN)
 	for w := 0; w < p.PreambleLen; w++ {
 		dech := d.dechirpWindow(samples, w*d.n)

@@ -61,6 +61,7 @@ func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
 	if n == 0 {
 		return nil
 	}
+	period := float64(n) / float64(cfg.Pad)
 	var cands []Peak
 	for i := 0; i < n; i++ {
 		prev := spectrum[(i-1+n)%n]
@@ -81,19 +82,21 @@ func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
 			}
 		}
 		interpMag := v - 0.25*(prev-next)*delta
-		cands = append(cands, Peak{
-			Bin: (float64(i) + delta) / float64(cfg.Pad),
-			Mag: interpMag,
-		})
+		// The spectrum is circular: interpolation below index 0 wraps to the
+		// top of the natural range rather than going negative.
+		bin := (float64(i) + delta) / float64(cfg.Pad)
+		if bin < 0 {
+			bin += period
+		}
+		cands = append(cands, Peak{Bin: bin, Mag: interpMag})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Mag > cands[j].Mag })
 
-	natural := float64(n) / float64(cfg.Pad)
 	var out []Peak
 	for _, c := range cands {
 		ok := true
 		for _, kept := range out {
-			if circularDist(c.Bin, kept.Bin, natural) < cfg.MinSeparation {
+			if circularDist(c.Bin, kept.Bin, period) < cfg.MinSeparation {
 				ok = false
 				break
 			}

@@ -32,6 +32,47 @@ func FuzzCodingRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzFrameCodecRoundTrip exercises the full frame codec — explicit header
+// block plus payload coding (Hamming blocks, interleaving, whitening,
+// CRC-16) — as the identity at symbol level for every SF × CR combination.
+func FuzzFrameCodecRoundTrip(f *testing.F) {
+	f.Add([]byte("frame"), uint8(8), uint8(4))
+	f.Add([]byte{0xAA}, uint8(12), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x5A}, 48), uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, payload []byte, sfRaw, crRaw uint8) {
+		if len(payload) == 0 || len(payload) > 128 {
+			return
+		}
+		p := DefaultParams()
+		p.SF = SpreadingFactor(7 + int(sfRaw)%6)
+		p.CR = CodeRate(1 + int(crRaw)%4)
+
+		hdrSyms, err := EncodeHeaderSymbols(Header{PayloadLen: len(payload), CR: p.CR}, p.SF)
+		if err != nil {
+			t.Fatalf("header encode: %v", err)
+		}
+		frame := append(hdrSyms, EncodeSymbols(payload, p)...)
+
+		h, err := DecodeHeaderSymbols(frame[:len(hdrSyms)], p.SF)
+		if err != nil {
+			t.Fatalf("header decode: %v", err)
+		}
+		if h.PayloadLen != len(payload) || h.CR != p.CR {
+			t.Fatalf("header roundtrip: got %+v, want len=%d cr=%d", h, len(payload), p.CR)
+		}
+		got, bad, err := DecodeSymbols(frame[len(hdrSyms):], h.PayloadLen, p)
+		if err != nil {
+			t.Fatalf("payload decode: %v", err)
+		}
+		if bad != 0 {
+			t.Fatalf("clean frame reported %d bad codewords", bad)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("frame codec roundtrip mismatch")
+		}
+	})
+}
+
 // FuzzDecodeSymbolsGarbage asserts that arbitrary symbol streams never
 // panic and essentially never pass the CRC.
 func FuzzDecodeSymbolsGarbage(f *testing.F) {

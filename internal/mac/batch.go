@@ -1,6 +1,8 @@
 package mac
 
 import (
+	"fmt"
+
 	"choir/internal/exec"
 )
 
@@ -20,15 +22,25 @@ type Job struct {
 }
 
 // RunMany executes the jobs across workers goroutines (<= 0 selects
-// GOMAXPROCS, 1 runs serially) and returns their metrics in job order. If
-// any job fails validation, the first error in job order is returned and
-// the results are discarded.
+// GOMAXPROCS, 1 runs serially) and returns their metrics in job order. All
+// jobs are validated up front: if any fails, the first error in job order is
+// returned before any simulation starts — a sweep of hundreds of cells must
+// not burn minutes of work only to discard everything over a typo in job 0.
 func RunMany(jobs []Job, workers int) ([]*Metrics, error) {
+	for i, job := range jobs {
+		if err := job.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		if job.Receiver == nil {
+			return nil, fmt.Errorf("job %d: nil receiver", i)
+		}
+	}
 	out := make([]*Metrics, len(jobs))
 	errs := make([]error, len(jobs))
 	exec.NewPool(workers).ForEach(len(jobs), func(i int) {
 		out[i], errs[i] = Run(jobs[i].Config, jobs[i].Receiver)
 	})
+	// Run re-validates; any residual error (scheme dispatch) still surfaces.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,7 +1,10 @@
 package mac
 
 import (
+	"math/rand/v2"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -54,6 +57,61 @@ func TestRunManyPropagatesFirstError(t *testing.T) {
 	}
 	if _, err := RunMany(jobs, 4); err == nil {
 		t.Error("invalid job config not reported")
+	}
+}
+
+// countingReceiver records whether any simulation touched the PHY.
+type countingReceiver struct{ calls *atomic.Int64 }
+
+func (c countingReceiver) Decode(tx []NodeID, rng *rand.Rand) []NodeID {
+	c.calls.Add(1)
+	return tx
+}
+
+func (c countingReceiver) Capacity() int { return 16 }
+
+// TestRunManyFailsFastBeforeAnyWork is the regression test for the original
+// bug: a validation error in ANY job must be reported before a single
+// simulation goroutine runs, not after the whole batch has been simulated
+// and discarded.
+func TestRunManyFailsFastBeforeAnyWork(t *testing.T) {
+	var calls atomic.Int64
+	rx := countingReceiver{calls: &calls}
+	jobs := []Job{
+		{Config: batchTestConfig(1, SchemeChoir), Receiver: rx},
+		{Config: batchTestConfig(2, SchemeChoir), Receiver: rx},
+		{Config: Config{}, Receiver: rx}, // invalid: caught up front
+	}
+	_, err := RunMany(jobs, 4)
+	if err == nil {
+		t.Fatal("invalid job config not reported")
+	}
+	if !strings.Contains(err.Error(), "job 2") {
+		t.Errorf("error does not identify the failing job: %v", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Errorf("%d Decode calls ran before the validation error surfaced", n)
+	}
+}
+
+func TestRunManyRejectsNilReceiver(t *testing.T) {
+	jobs := []Job{{Config: batchTestConfig(1, SchemeAloha)}}
+	if _, err := RunMany(jobs, 1); err == nil {
+		t.Error("nil receiver not reported")
+	}
+}
+
+func TestValidateRejectsUnknownSchemeAndNegativeKnobs(t *testing.T) {
+	bad := []Config{
+		func() Config { c := batchTestConfig(1, Scheme(42)); return c }(),
+		func() Config { c := batchTestConfig(1, Scheme(-1)); return c }(),
+		func() Config { c := batchTestConfig(1, SchemeAloha); c.QueueCap = -1; return c }(),
+		func() Config { c := batchTestConfig(1, SchemeAloha); c.MaxBackoffExp = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ package mac
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 )
 
@@ -161,12 +162,18 @@ type Config struct {
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	switch {
+	case c.Scheme < SchemeAloha || c.Scheme > SchemeChoir:
+		return fmt.Errorf("mac: unknown scheme %d", int(c.Scheme))
 	case c.Nodes <= 0:
 		return fmt.Errorf("mac: Nodes %d <= 0", c.Nodes)
 	case c.Slots <= 0:
 		return fmt.Errorf("mac: Slots %d <= 0", c.Slots)
-	case c.ArrivalPerSlot < 0 || c.ArrivalPerSlot > 1:
+	case c.ArrivalPerSlot < 0 || c.ArrivalPerSlot > 1 || math.IsNaN(c.ArrivalPerSlot):
 		return fmt.Errorf("mac: ArrivalPerSlot %g outside [0,1]", c.ArrivalPerSlot)
+	case c.QueueCap < 0:
+		return fmt.Errorf("mac: QueueCap %d < 0", c.QueueCap)
+	case c.MaxBackoffExp < 0:
+		return fmt.Errorf("mac: MaxBackoffExp %d < 0", c.MaxBackoffExp)
 	case c.SlotSeconds <= 0:
 		return fmt.Errorf("mac: SlotSeconds %g <= 0", c.SlotSeconds)
 	case c.PacketBits <= 0:

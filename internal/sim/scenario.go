@@ -13,6 +13,7 @@ import (
 
 	"choir/internal/channel"
 	"choir/internal/choir"
+	"choir/internal/fault"
 	"choir/internal/lora"
 	"choir/internal/radio"
 )
@@ -188,21 +189,39 @@ func (s Scenario) DecodeWithChoir() (recovered int, total int) {
 // the transmitted payloads were recovered. The decoder must be built for
 // s.Params.
 func (s Scenario) DecodeWith(dec *choir.Decoder) (recovered int, total int) {
+	return s.DecodeFaultedWith(dec, nil, 0)
+}
+
+// DecodeFaultedWith renders the scenario, corrupts the IQ at the channel
+// boundary with inj (driven by faultSeed; nil injects nothing), and decodes.
+// Because the scenario's own randomness comes from s.Seed alone, the same
+// scenario decoded with a zero-intensity injector reproduces the unfaulted
+// result exactly.
+func (s Scenario) DecodeFaultedWith(dec *choir.Decoder, inj fault.Injector, faultSeed uint64) (recovered int, total int) {
 	sig, payloads := s.Synthesize()
+	if inj != nil {
+		sig = inj.Apply(sig, faultSeed)
+	}
 	res, err := dec.Decode(sig, s.PayloadLen)
 	if err != nil {
 		return 0, len(payloads)
 	}
-	decoded := res.DecodedPayloads()
+	return countRecovered(res.DecodedPayloads(), payloads), len(payloads)
+}
+
+// countRecovered matches decoded payloads against the transmitted ones
+// one-to-one by content and returns how many were recovered.
+func countRecovered(decoded, want [][]byte) int {
 	used := make([]bool, len(decoded))
-	for _, want := range payloads {
+	recovered := 0
+	for _, w := range want {
 		for i, got := range decoded {
-			if !used[i] && string(got) == string(want) {
+			if !used[i] && string(got) == string(w) {
 				used[i] = true
 				recovered++
 				break
 			}
 		}
 	}
-	return recovered, len(payloads)
+	return recovered
 }
