@@ -524,6 +524,38 @@ func BenchmarkDecodeEightUserCollision(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeMetricsOnVsOff pins the observability layer's cost on the
+// decoder hot path. The "off" run must report 0 allocs/op beyond the
+// baseline decode — recording operations gate on one atomic load and spans
+// are stack values — and the "on" run shows the full price of per-stage
+// timing, which stays a small fraction of the decode itself.
+func BenchmarkDecodeMetricsOnVsOff(b *testing.B) {
+	sc := sim.Scenario{Params: lora.DefaultParams(), PayloadLen: 8, SNRsDB: []float64{20, 15}, Seed: 9}
+	sig, _ := sc.Synthesize()
+	for _, on := range []bool{false, true} {
+		name := "metrics=off"
+		if on {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			if on {
+				choir.EnableMetrics()
+			} else {
+				choir.DisableMetrics()
+			}
+			defer choir.DisableMetrics()
+			dec := ichoir.MustNew(ichoir.DefaultConfig(sc.Params))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Decode(sig, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTeamDecode(b *testing.B) {
 	sc := sim.Scenario{Params: lora.DefaultParams(), PayloadLen: 8, SNRsDB: teamSNRs(10, -12), Identical: true, Seed: 11}
 	sig, _ := sc.Synthesize()

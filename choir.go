@@ -37,6 +37,7 @@ import (
 	"choir/internal/fault"
 	"choir/internal/lora"
 	"choir/internal/mac"
+	"choir/internal/obs"
 	"choir/internal/radio"
 	"choir/internal/sim"
 )
@@ -307,4 +308,35 @@ const (
 	MetricThroughput = sim.Throughput
 	MetricLatency    = sim.Latency
 	MetricTxCount    = sim.TxCount
+)
+
+// Observability (package internal/obs): process-wide counters and latency
+// histograms threaded through the decoder, trial engine, MAC and fault
+// layers. Recording is off by default and allocation-free when disabled;
+// enabling it never changes decode results or seed derivation (DESIGN.md
+// §10).
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered counter
+	// and histogram.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// Observability controls.
+var (
+	// EnableMetrics turns on metric recording process-wide.
+	EnableMetrics = obs.Enable
+	// DisableMetrics turns recording back off (already-recorded values
+	// remain readable).
+	DisableMetrics = obs.Disable
+	// MetricsEnabled reports whether recording is on.
+	MetricsEnabled = obs.Enabled
+	// TakeMetricsSnapshot copies every registered metric's current state.
+	TakeMetricsSnapshot = obs.TakeSnapshot
+	// WriteMetricsJSON writes the snapshot as indented JSON.
+	WriteMetricsJSON = obs.WriteJSON
+	// ResetMetrics zeroes every registered metric (for test isolation).
+	ResetMetrics = obs.Reset
+	// ServeDebug starts an expvar + pprof HTTP server on the given address
+	// and returns the bound address.
+	ServeDebug = obs.ServeDebug
 )

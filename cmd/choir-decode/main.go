@@ -3,8 +3,10 @@
 // format) and prints every separated user. With -team it runs the
 // below-noise team decoder of Sec. 7 instead. Multiple traces are decoded
 // concurrently across -workers goroutines — decoders are borrowed from a
-// per-PHY pool — and reports are printed in argument order regardless of
-// which finishes first.
+// per-PHY pool — and both reports and per-trace errors are emitted in
+// argument order regardless of which decode finishes first. An unreadable
+// trace does not abort the batch; it is reported in place and the command
+// exits nonzero after every input has been processed.
 //
 // With -fault/-fault-rate the trace's IQ is corrupted before decoding —
 // deterministic per input index — to exercise the decoder's graceful
@@ -16,40 +18,69 @@
 //	choir-decode -team team.iq
 //	choir-decode -workers 4 night/*.iq
 //	choir-decode -fault interferer -fault-rate 0.3 collision.iq
+//	choir-decode -metrics -debug-addr localhost:6060 collision.iq
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"sync"
 
 	"choir"
+	"choir/internal/obs"
 	"choir/internal/trace"
 )
 
 func main() {
-	team := flag.Bool("team", false, "decode as a coordinated team transmission")
-	workers := flag.Int("workers", 0, "concurrent trace decodes (0 = all CPUs, 1 = serial)")
-	faultClass := flag.String("fault", "", "inject a fault before decoding: clip, drop, interferer, drift, or truncate")
-	faultRate := flag.Float64("fault-rate", 0.3, "fault intensity in [0,1] for -fault")
-	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: choir-decode [-team] [-workers n] [-fault class -fault-rate r] <trace.iq> [more.iq ...]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// whole command: argv excludes the program name, and the exit code is
+// returned instead of passed to os.Exit.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("choir-decode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	team := fs.Bool("team", false, "decode as a coordinated team transmission")
+	workers := fs.Int("workers", 0, "concurrent trace decodes (0 = all CPUs, 1 = serial)")
+	faultClass := fs.String("fault", "", "inject a fault before decoding: clip, drop, interferer, drift, or truncate")
+	faultRate := fs.Float64("fault-rate", 0.3, "fault intensity in [0,1] for -fault")
+	metrics := fs.Bool("metrics", false, "record decode metrics and dump a JSON snapshot at exit")
+	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	files := flag.Args()
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: choir-decode [-team] [-workers n] [-fault class -fault-rate r] <trace.iq> [more.iq ...]")
+		return 2
+	}
+	files := fs.Args()
+
+	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(stderr, "choir-decode:", err)
+		return 1
+	}
+	defer func() {
+		if err := dumpMetrics(); err != nil {
+			fmt.Fprintln(stderr, "choir-decode: metrics dump:", err)
+		}
+	}()
 
 	var inj choir.FaultInjector
 	if *faultClass != "" {
 		class, err := choir.ParseFaultClass(*faultClass)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "choir-decode:", err)
+			return 1
 		}
 		if inj, err = choir.NewFault(class, *faultRate); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "choir-decode:", err)
+			return 1
 		}
 	}
 
@@ -71,20 +102,27 @@ func main() {
 		return pool, nil
 	}
 
+	// Workers write only into their own indexed slots; all printing happens
+	// afterwards on this goroutine, so report and error lines come out in
+	// argument order no matter how the decodes were scheduled.
 	reports := make([]string, len(files))
 	errs := make([]error, len(files))
 	choir.NewWorkerPool(*workers).ForEach(len(files), func(i int) {
 		reports[i], errs[i] = decodeTrace(files[i], uint64(i), *team, inj, poolFor)
 	})
+	exit := 0
 	for i, name := range files {
-		if errs[i] != nil {
-			log.Fatalf("%s: %v", name, errs[i])
-		}
 		if len(files) > 1 {
-			fmt.Printf("== %s ==\n", name)
+			fmt.Fprintf(stdout, "== %s ==\n", name)
 		}
-		fmt.Print(reports[i])
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "choir-decode: %s: %v\n", name, errs[i])
+			exit = 1
+			continue
+		}
+		fmt.Fprint(stdout, reports[i])
 	}
+	return exit
 }
 
 // decodeTrace reads one trace, optionally corrupts it with inj, decodes it

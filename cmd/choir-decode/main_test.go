@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"choir"
+	"choir/internal/sim"
+	"choir/internal/trace"
+)
+
+// writeTestTrace synthesizes a small single-user trace to path.
+func writeTestTrace(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	p := choir.DefaultPHY()
+	p.SF = choir.SF7
+	sc := sim.Scenario{Params: p, PayloadLen: 4, SNRsDB: []float64{15}, Seed: seed}
+	samples, payloads := sc.Synthesize()
+	h := trace.Header{Params: p, PayloadLen: 4}
+	for _, pl := range payloads {
+		h.Users = append(h.Users, fmt.Sprintf("%x", pl))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, h, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunOrdersOutputAcrossWorkers pins the batch-output contract: report
+// sections and error lines appear in argument order and are identical for
+// any worker count, and a broken trace in the middle of the batch is
+// reported in place without aborting the traces after it.
+func TestRunOrdersOutputAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	good1 := filepath.Join(dir, "a.iq")
+	bad := filepath.Join(dir, "broken.iq")
+	good2 := filepath.Join(dir, "c.iq")
+	good3 := filepath.Join(dir, "d.iq")
+	writeTestTrace(t, good1, 1)
+	writeTestTrace(t, good2, 2)
+	writeTestTrace(t, good3, 3)
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files := []string{good1, bad, good2, good3}
+
+	runOnce := func(workers int) (string, string, int) {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-workers", fmt.Sprint(workers)}, files...)
+		code := run(args, &stdout, &stderr)
+		return stdout.String(), stderr.String(), code
+	}
+
+	out1, errOut1, code1 := runOnce(1)
+	if code1 != 1 {
+		t.Errorf("exit code = %d with a broken trace in the batch, want 1", code1)
+	}
+	if !strings.Contains(errOut1, "broken.iq") {
+		t.Errorf("stderr does not name the broken trace:\n%s", errOut1)
+	}
+
+	// Headers must appear in argument order, including the failed trace's.
+	var headerPos []int
+	for _, f := range files {
+		p := strings.Index(out1, "== "+f+" ==")
+		if p < 0 {
+			t.Fatalf("stdout missing section header for %s:\n%s", f, out1)
+		}
+		headerPos = append(headerPos, p)
+	}
+	for i := 1; i < len(headerPos); i++ {
+		if headerPos[i] < headerPos[i-1] {
+			t.Errorf("section headers out of argument order: %v", headerPos)
+		}
+	}
+	// Every good trace must still have decoded despite the failure between
+	// them.
+	if got := strings.Count(out1, "recovered 1/1 ground-truth payloads"); got != 3 {
+		t.Errorf("decoded %d of 3 good traces:\n%s", got, out1)
+	}
+
+	out4, errOut4, code4 := runOnce(4)
+	if out1 != out4 {
+		t.Errorf("stdout differs between -workers 1 and -workers 4\n--- w1 ---\n%s--- w4 ---\n%s", out1, out4)
+	}
+	if errOut1 != errOut4 {
+		t.Errorf("stderr differs between -workers 1 and -workers 4\n--- w1 ---\n%s--- w4 ---\n%s", errOut1, errOut4)
+	}
+	if code1 != code4 {
+		t.Errorf("exit codes differ across worker counts: %d vs %d", code1, code4)
+	}
+}
+
+func TestRunUsageOnNoArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d with no arguments, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr missing usage line:\n%s", stderr.String())
+	}
+}

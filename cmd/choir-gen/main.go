@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"choir"
+	"choir/internal/obs"
 	"choir/internal/sim"
 	"choir/internal/trace"
 )
@@ -26,7 +27,20 @@ func main() {
 	payloadLen := flag.Int("payload", 8, "payload length in bytes")
 	seed := flag.Uint64("seed", 1, "synthesis seed")
 	out := flag.String("out", "collision.iq", "output trace path")
+	metrics := flag.Bool("metrics", false, "record metrics and dump a JSON snapshot at exit")
+	metricsOut := flag.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
 	flag.Parse()
+
+	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := dumpMetrics(); err != nil {
+			log.Printf("metrics dump: %v", err)
+		}
+	}()
 
 	if *users < 1 {
 		log.Fatal("need at least one user")

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"choir"
+	"choir/internal/obs"
 )
 
 func main() {
@@ -29,7 +30,20 @@ func main() {
 	workers := flag.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
 	faultClass := flag.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
 	faultRate := flag.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
+	metrics := flag.Bool("metrics", false, "record decode/MAC metrics and dump a JSON snapshot at exit")
+	metricsOut := flag.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
 	flag.Parse()
+
+	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := dumpMetrics(); err != nil {
+			log.Printf("metrics dump: %v", err)
+		}
+	}()
 
 	cfg := choir.DefaultFig8()
 	cfg.Slots = *slots

@@ -24,6 +24,8 @@ type peakObs struct {
 // attributes them to the preamble-estimated users, and decodes each user's
 // symbol stream into a payload.
 func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadLen int) []*User {
+	sp := mStageData.Start()
+	defer sp.Stop()
 	p := d.cfg.LoRa
 	nsym := lora.SymbolsPerPayload(payloadLen, p.SF, p.CR)
 	start := p.HeaderSymbols() * d.n
@@ -462,6 +464,7 @@ func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []us
 	for round := 0; round < 2; round++ {
 		spec := d.paddedSpectrum(dech)
 		mags := d.magnitudes(spec)
+		pkSp := mStagePeaks.Start()
 		floor := dsp.NoiseFloor(mags)
 		thresh := floor * d.cfg.PeakThreshold
 		if round > 0 {
@@ -473,6 +476,7 @@ func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []us
 			Threshold:     thresh,
 			Max:           budget,
 		})
+		pkSp.Stop()
 		for _, pk := range peaks {
 			out = append(out, peakObs{
 				win:  w,
@@ -488,10 +492,12 @@ func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []us
 		// Some user is still buried: remove everything visible (subtracting
 		// a peak's fitted tone removes its entire sinc, side lobes included)
 		// and look underneath.
+		sicSp := mStageSIC.Start()
 		for _, pk := range out {
 			h1, h2, i0 := segmentFit(dech, pk.bin/float64(d.n))
 			d.subtractSegments(dech, pk.bin, h1, h2, i0)
 		}
+		sicSp.Stop()
 	}
 	if d.cfg.FineSearch && len(out) > 1 {
 		out = d.refinePeakPositions(samples, off, out)

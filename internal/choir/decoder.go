@@ -274,36 +274,54 @@ var ErrNoUsers = errors.New("choir: no users detected")
 // sample zero) and contain the full frame; payloadLen is the expected
 // payload length in bytes, as fixed by the network's schedule.
 func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) {
+	sp := mDecodeTimer.Start()
+	defer sp.Stop()
+	mDecodes.Inc()
 	p := d.cfg.LoRa
 	need := p.FrameSamples(payloadLen)
 	if len(samples) < need {
-		return nil, fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+		err := fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+		countDecodeErr(err)
+		return nil, err
 	}
 	if err := validateIQ(samples); err != nil {
+		countDecodeErr(err)
 		return nil, err
 	}
 	ests := d.estimatePreamble(samples)
 	if len(ests) == 0 {
+		countDecodeErr(ErrNoUsers)
 		return nil, ErrNoUsers
 	}
+	mUsersDetected.Add(int64(len(ests)))
 	users := d.decodeData(samples, ests, payloadLen)
+	for _, u := range users {
+		countUserOutcome(u)
+	}
+	countDecodeErr(nil)
 	return &Result{Users: users}, nil
 }
 
 // dechirpWindow dechirps the n-sample window starting at off into the
 // decoder's scratch buffer and returns it (valid until the next call).
 func (d *Decoder) dechirpWindow(samples []complex128, off int) []complex128 {
-	return lora.Dechirp(d.scratchDech, samples[off:off+d.n], d.modem.Down())
+	sp := mStageDechirp.Start()
+	out := lora.Dechirp(d.scratchDech, samples[off:off+d.n], d.modem.Down())
+	sp.Stop()
+	return out
 }
 
 // paddedSpectrum computes the complex zero-padded spectrum of a dechirped
 // window into scratch (valid until the next call).
 func (d *Decoder) paddedSpectrum(dech []complex128) []complex128 {
+	sp := mStageFFT.Start()
 	for i := range d.scratchPad {
 		d.scratchPad[i] = 0
 	}
 	copy(d.scratchPad, dech)
-	return d.fft.Transform(d.scratchSpec, d.scratchPad)
+	out := d.fft.Transform(d.scratchSpec, d.scratchPad)
+	sp.Stop()
+	return out
 }
 
 // magnitudes converts a complex spectrum to magnitudes in the decoder's

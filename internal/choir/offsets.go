@@ -23,6 +23,8 @@ type userEstimate struct {
 // channel from the preamble windows, applying phased SIC to surface weak
 // users buried under strong ones.
 func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
+	sp := mStagePreamble.Start()
+	defer sp.Stop()
 	p := d.cfg.LoRa
 	nWin := p.PreambleLen
 
@@ -46,7 +48,10 @@ func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
 		}
 		// Subtract every user found so far (jointly re-fit per window) so
 		// the next phase can see weaker peaks.
+		mSICPhases.Inc()
+		sicSp := mStageSIC.Start()
 		d.subtractUsers(wins, users)
+		sicSp.Stop()
 	}
 	sort.Slice(users, func(i, j int) bool { return users[i].power > users[j].power })
 	users = d.mergeMultipathRays(users)
@@ -114,6 +119,7 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 	for w, dech := range wins {
 		spec := d.paddedSpectrum(dech)
 		mags := d.magnitudes(spec)
+		pkSp := mStagePeaks.Start()
 		floor := dsp.NoiseFloor(mags)
 		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
 			Pad:           d.pad,
@@ -121,6 +127,7 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 			Threshold:     floor * d.cfg.PeakThreshold,
 			Max:           budget + 4,
 		})
+		pkSp.Stop()
 		for _, pk := range peaks {
 			if nearKnown(pk.Bin, pk.Mag) {
 				continue
@@ -376,6 +383,8 @@ func (d *Decoder) subtractUsers(wins [][]complex128, users []userEstimate) {
 // fBins for the two-segment fit that explains the most energy, returning the
 // refined frequency and its fit.
 func (d *Decoder) segmentFitRefined(x []complex128, fBins float64) (float64, complex128, complex128, int) {
+	sp := mStageResidual.Start()
+	defer sp.Stop()
 	explained := func(f float64) float64 {
 		h1, h2, i0 := segmentFit(x, f/float64(d.n))
 		p1 := real(h1)*real(h1) + imag(h1)*imag(h1)

@@ -87,15 +87,22 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 // energy over all members, decoding succeeds even when every individual
 // member is below the noise floor.
 func (d *Decoder) DecodeTeam(samples []complex128, payloadLen int) (*TeamResult, error) {
+	sp := mTeamDecodeTimer.Start()
+	defer sp.Stop()
+	mDecodes.Inc()
 	p := d.cfg.LoRa
 	need := p.FrameSamples(payloadLen)
 	if len(samples) < need {
-		return nil, fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+		err := fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
+		countDecodeErr(err)
+		return nil, err
 	}
 	offs, err := d.DetectTeam(samples)
 	if err != nil {
+		countDecodeErr(err)
 		return nil, err
 	}
+	mUsersDetected.Add(int64(len(offs)))
 
 	// Estimate each member's channel by averaging matched-filter outputs
 	// coherently across preamble windows (derotating the per-window phase
@@ -128,7 +135,11 @@ func (d *Decoder) DecodeTeam(samples []complex128, payloadLen int) (*TeamResult,
 	res.Err = derr
 	if derr != nil {
 		res.Payload = nil
+		mUserCRCFailed.Inc()
+	} else {
+		mUserDecoded.Inc()
 	}
+	countDecodeErr(nil)
 	return res, nil
 }
 

@@ -1,0 +1,98 @@
+package cluster_test
+
+// Property test: for well-separated data the partition Cluster finds must
+// not depend on the order the points are presented in. k-means++ seeding
+// consumes the rng in input order, so intermediate states differ between a
+// permuted and an unpermuted run — but with clusters many standard
+// deviations apart every restart converges to the same partition, and any
+// order dependence that leaks into the result is a bug in the optimizer
+// (e.g. a tie broken by index where a distance should decide).
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"choir/internal/cluster"
+)
+
+// canonicalPartition reduces an assignment over original point IDs to a
+// label-free, order-free form: the sorted list of sorted member groups.
+func canonicalPartition(ids []int, assign []int) [][]int {
+	groups := map[int][]int{}
+	for i, a := range assign {
+		groups[a] = append(groups[a], ids[i])
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func partitionsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestClusterPermutationInvariant(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	const perCluster = 8
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xC1A57E4))
+
+		var points []cluster.Point
+		for _, c := range centers {
+			for i := 0; i < perCluster; i++ {
+				points = append(points, cluster.Point{Features: []float64{
+					c[0] + rng.NormFloat64()*0.1,
+					c[1] + rng.NormFloat64()*0.1,
+				}})
+			}
+		}
+		ids := make([]int, len(points))
+		for i := range ids {
+			ids[i] = i
+		}
+
+		base, err := cluster.Cluster(points, len(centers), cluster.Constraints{},
+			cluster.Config{}, rand.New(rand.NewPCG(1, 2)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := canonicalPartition(ids, base.Assign)
+
+		perm := rng.Perm(len(points))
+		permPoints := make([]cluster.Point, len(points))
+		permIDs := make([]int, len(points))
+		for to, from := range perm {
+			permPoints[to] = points[from]
+			permIDs[to] = ids[from]
+		}
+		res, err := cluster.Cluster(permPoints, len(centers), cluster.Constraints{},
+			cluster.Config{}, rand.New(rand.NewPCG(3, 4)))
+		if err != nil {
+			t.Fatalf("trial %d (permuted): %v", trial, err)
+		}
+		got := canonicalPartition(permIDs, res.Assign)
+
+		if !partitionsEqual(want, got) {
+			t.Errorf("trial %d: partition depends on input order\noriginal: %v\npermuted: %v",
+				trial, want, got)
+		}
+	}
+}

@@ -54,9 +54,13 @@ func (p *DecoderPool) Get(seed uint64) *choir.Decoder {
 		d, p.free = p.free[n-1], p.free[:n-1]
 	}
 	p.mu.Unlock()
+	mDecGets.Inc()
 	if d == nil {
+		mDecMisses.Inc()
 		// cfg was validated by NewDecoderPool; construction cannot fail.
 		d = choir.MustNew(p.cfg)
+	} else {
+		mDecHits.Inc()
 	}
 	d.Reseed(seed)
 	return d

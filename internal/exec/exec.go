@@ -17,6 +17,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"choir/internal/obs"
 )
 
 // Pool is a bounded worker pool for fanning trial loops out across CPUs.
@@ -51,6 +54,27 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	w := p.workers
 	if w > n {
 		w = n
+	}
+	if obs.Enabled() {
+		// Wrap each task with queue-wait and runtime recording. Queue wait
+		// is measured from fan-out start to task pickup — under dynamic
+		// handout that is exactly how long the index sat waiting for a free
+		// worker. The wrapping happens only when metrics are on, so the
+		// disabled path stays a single branch with no closure allocation.
+		t0 := time.Now()
+		mPoolTasks.Add(int64(n))
+		run := fn
+		fn = func(i int) {
+			start := time.Now()
+			mPoolQueueWait.Observe(start.Sub(t0).Nanoseconds())
+			run(i)
+			d := time.Since(start).Nanoseconds()
+			mPoolBusyNS.Add(d)
+			mPoolTaskNS.Hist().Observe(d)
+		}
+		defer func() {
+			mPoolCapacityNS.Add(time.Since(t0).Nanoseconds() * int64(w))
+		}()
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {

@@ -175,6 +175,7 @@ func (in injector) Apply(samples []complex128, seed uint64) []complex128 {
 	if in.intensity == 0 || len(samples) == 0 {
 		return samples
 	}
+	mHits[in.class].Inc()
 	rng := rand.New(rand.NewPCG(seed, seed^(0xFA17<<8|uint64(in.class))))
 	switch in.class {
 	case Clip:

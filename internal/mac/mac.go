@@ -348,5 +348,10 @@ func Run(cfg Config, rx Receiver) (*Metrics, error) {
 			}
 		}
 	}
+	mRuns.Inc()
+	mSlots.Add(int64(m.Slots))
+	mDelivered.Add(int64(m.Delivered))
+	mDropped.Add(int64(m.Dropped))
+	mTransmissions.Add(int64(m.Transmissions))
 	return m, nil
 }

@@ -1,0 +1,15 @@
+package mac
+
+import "choir/internal/obs"
+
+// MAC-engine observability: cumulative outcome counters over every Run in
+// the process, recorded once at the end of a simulation rather than inside
+// the slot loop so the engine's inner loop stays untouched. Gated on
+// obs.Enable like every other metric in the tree.
+var (
+	mRuns          = obs.NewCounter("mac.runs")
+	mSlots         = obs.NewCounter("mac.slots")
+	mDelivered     = obs.NewCounter("mac.delivered")
+	mDropped       = obs.NewCounter("mac.dropped")
+	mTransmissions = obs.NewCounter("mac.transmissions")
+)

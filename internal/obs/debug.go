@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar publication: expvar.Publish panics on
+// duplicate names, and ServeDebug may be called more than once (tests,
+// restart loops).
+var publishOnce sync.Once
+
+// publishExpvar exposes the process-wide registry snapshot as the expvar
+// variable "choir_metrics", so it appears in /debug/vars alongside the
+// runtime's memstats.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("choir_metrics", expvar.Func(func() any {
+			return TakeSnapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the standard Go
+// debugging surface: /debug/vars (expvar, including the "choir_metrics"
+// snapshot) and /debug/pprof/ (CPU, heap, goroutine, block profiles, and
+// execution traces). It returns the bound address (useful with ":0") after
+// the listener is live; the server itself runs on a background goroutine
+// for the life of the process.
+//
+// The handlers are mounted on a private mux, so importing this package does
+// not register anything on http.DefaultServeMux.
+func ServeDebug(addr string) (string, error) {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// The server lives until process exit; Serve only returns on
+		// listener failure, which is not actionable here.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// StartCLI wires the shared command-line observability surface: when
+// metrics is true (or a debug server is requested) recording is enabled;
+// when debugAddr is non-empty the expvar/pprof server starts there. The
+// returned dump function writes the final JSON snapshot — to the file named
+// by out, or to stderr when out is empty or "-" — and is intended to run at
+// process exit; it is a no-op when metrics is false.
+func StartCLI(metrics bool, out, debugAddr string) (dump func() error, err error) {
+	if metrics || debugAddr != "" {
+		Enable()
+	}
+	if debugAddr != "" {
+		bound, err := ServeDebug(debugAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/pprof/\n", bound)
+	}
+	if !metrics {
+		return func() error { return nil }, nil
+	}
+	return func() error {
+		var w io.Writer = os.Stderr
+		if out != "" && out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return WriteJSON(w)
+	}, nil
+}

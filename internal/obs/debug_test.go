@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServeDebugEndpoints(t *testing.T) {
+	withEnabled(t, func() {
+		NewCounter("debugtest.count").Add(3)
+	})
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not a JSON snapshot: %v", err)
+	}
+	if snap.Counters["debugtest.count"] != 3 {
+		t.Errorf("/debug/metrics counter = %d, want 3", snap.Counters["debugtest.count"])
+	}
+	if vars := string(get("/debug/vars")); !strings.Contains(vars, "choir_metrics") {
+		t.Error("/debug/vars does not publish choir_metrics")
+	}
+	if idx := string(get("/debug/pprof/")); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}
+
+func TestStartCLIDumpsToFile(t *testing.T) {
+	defer Disable()
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	dump, err := StartCLI(true, out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("StartCLI(true, ...) did not enable recording")
+	}
+	NewCounter("clitest.count").Inc()
+	if err := dump(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if snap.Counters["clitest.count"] != 1 {
+		t.Errorf("dumped counter = %d, want 1", snap.Counters["clitest.count"])
+	}
+}
+
+func TestStartCLIDisabledIsNoOp(t *testing.T) {
+	Disable()
+	dump, err := StartCLI(false, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Error("StartCLI(false, ...) enabled recording")
+	}
+	if err := dump(); err != nil {
+		t.Errorf("no-op dump returned %v", err)
+	}
+}

@@ -214,8 +214,10 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 	for ti, ok := range delivered {
 		rep.BeaconSlots++
 		rep.TeamsExpected++
+		mTeamTrials.Inc()
 		if ok {
 			rep.TeamsDelivered++
+			mTeamDelivered.Inc()
 			for _, id := range teams[ti].Team {
 				served(id)
 			}

@@ -62,6 +62,9 @@ func TestEndToEndValidation(t *testing.T) {
 }
 
 func TestEndToEndMoreBasesImproveCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten full deployments skipped in -short mode")
+	}
 	// The paper deployed three base stations; more sites mean better best-
 	// link SNRs, so fewer sensors should be unreachable on average.
 	totalUnreach := func(bases int) int {

@@ -20,6 +20,9 @@ func faultSweepTestConfig() FaultSweepConfig {
 // TestFaultSweepDeterministicAcrossWorkers is the acceptance criterion:
 // fanning the sweep across 8 workers must reproduce the serial run exactly.
 func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker IQ-level sweep comparison skipped in -short mode")
+	}
 	cfg := faultSweepTestConfig()
 	cfg.Workers = 1
 	serial, err := FaultSweep(cfg)
@@ -41,6 +44,9 @@ func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
 // decode results exactly — same scenarios, same decoder seeds, untouched
 // samples.
 func TestFaultSweepZeroIntensityMatchesUnfaulted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IQ-level fault sweep skipped in -short mode")
+	}
 	cfg := faultSweepTestConfig()
 	fig, err := FaultSweep(cfg)
 	if err != nil {

@@ -202,11 +202,16 @@ func (s Scenario) DecodeFaultedWith(dec *choir.Decoder, inj fault.Injector, faul
 	if inj != nil {
 		sig = inj.Apply(sig, faultSeed)
 	}
+	mTrials.Inc()
+	mPayloadsExpected.Add(int64(len(payloads)))
 	res, err := dec.Decode(sig, s.PayloadLen)
 	if err != nil {
+		mTrialDecodeErrs.Inc()
 		return 0, len(payloads)
 	}
-	return countRecovered(res.DecodedPayloads(), payloads), len(payloads)
+	recovered = countRecovered(res.DecodedPayloads(), payloads)
+	mPayloadsRecovered.Add(int64(recovered))
+	return recovered, len(payloads)
 }
 
 // countRecovered matches decoded payloads against the transmitted ones
