@@ -35,6 +35,7 @@ import (
 	ichoir "choir/internal/choir"
 	"choir/internal/exec"
 	"choir/internal/fault"
+	"choir/internal/gateway"
 	"choir/internal/lora"
 	"choir/internal/mac"
 	"choir/internal/obs"
@@ -124,6 +125,12 @@ var (
 	// ErrTrackingLost marks a user whose offset fingerprint vanished from
 	// most data windows (recorded per user in DecodedUser.Err).
 	ErrTrackingLost = ichoir.ErrTrackingLost
+	// ErrDecodeCanceled reports a decode abandoned at a stage boundary
+	// because its context was canceled (Decoder.DecodeCtx).
+	ErrDecodeCanceled = ichoir.ErrCanceled
+	// ErrDecodeDeadline reports a decode abandoned because its context's
+	// deadline expired mid-decode.
+	ErrDecodeDeadline = ichoir.ErrDeadline
 	// NewMultiSFDecoder builds one Choir decoder per spreading factor.
 	NewMultiSFDecoder = ichoir.NewMultiSF
 	// AntennaDiversityGain is the selection-diversity success model used by
@@ -180,9 +187,14 @@ type (
 // MAC schemes and runner.
 var (
 	RunMAC = mac.Run
+	// RunMACCtx is RunMAC bounded by a context (checked between slots).
+	RunMACCtx = mac.RunCtx
 	// RunMACMany executes a batch of independent MAC simulations across a
 	// worker pool; results are identical to calling RunMAC per job.
 	RunMACMany = mac.RunMany
+	// RunMACManyCtx is RunMACMany bounded by a context: once ctx fires no
+	// new job starts and the context's error is returned.
+	RunMACManyCtx = mac.RunManyCtx
 	// DefaultEnergyModel returns SX1276-class power figures.
 	DefaultEnergyModel = mac.DefaultEnergyModel
 )
@@ -303,11 +315,92 @@ var (
 	DefaultFaultSweep = sim.DefaultFaultSweep
 )
 
+// Context-bounded experiment variants: identical results when the context
+// never fires, the context's error (and no partial figure) once it does.
+// Cancellation is cooperative — it propagates through the trial-execution
+// fan-out, the IQ-level calibration, and the MAC slot loops.
+var (
+	Fig7StabilityCtx   = sim.Fig7StabilityCtx
+	Fig8SNRCtx         = sim.Fig8SNRCtx
+	Fig8UsersCtx       = sim.Fig8UsersCtx
+	Fig10ResolutionCtx = sim.Fig10ResolutionCtx
+	Fig11GroupingCtx   = sim.Fig11GroupingCtx
+	Fig11ThroughputCtx = sim.Fig11ThroughputCtx
+	Fig12MUMIMOCtx     = sim.Fig12MUMIMOCtx
+	ComputeHeadlineCtx = sim.ComputeHeadlineCtx
+	EndToEndCtx        = sim.EndToEndCtx
+	FaultSweepCtx      = sim.FaultSweepCtx
+)
+
 // Metrics selectors for Fig8* experiments.
 const (
 	MetricThroughput = sim.Throughput
 	MetricLatency    = sim.Latency
 	MetricTxCount    = sim.TxCount
+)
+
+// Gateway service (package internal/gateway): a resilient long-running
+// decode pipeline — bounded ingest queue with explicit shedding policies, a
+// decode-recovery ladder with per-stage circuit breakers, panic isolation,
+// and drain-then-stop shutdown. See DESIGN.md §11 for the resilience model.
+type (
+	// Gateway is the long-running decode service.
+	Gateway = gateway.Gateway
+	// GatewayConfig sizes the queue, worker pool, recovery ladder, and
+	// circuit breakers.
+	GatewayConfig = gateway.Config
+	// GatewayOutcome is the single terminal result of one accepted frame.
+	GatewayOutcome = gateway.Outcome
+	// GatewayOutcomeKind classifies an outcome (decoded, failed, shed).
+	GatewayOutcomeKind = gateway.OutcomeKind
+	// GatewayStats is the always-on frame accounting (independent of the
+	// obs metrics switch).
+	GatewayStats = gateway.Stats
+	// GatewayFrame is one queued IQ capture.
+	GatewayFrame = gateway.Frame
+	// ShedPolicy selects the backpressure behavior of a full queue.
+	ShedPolicy = gateway.ShedPolicy
+	// LadderStage is one rung of the decode-recovery ladder.
+	LadderStage = gateway.Stage
+)
+
+// Gateway constructors, ingest helpers, and typed errors.
+var (
+	// NewGateway validates the configuration and starts the workers.
+	NewGateway = gateway.New
+	// ParseShedPolicy parses a policy name as printed by ShedPolicy.String.
+	ParseShedPolicy = gateway.ParseShedPolicy
+	// GatewayIngestFiles submits trace files (or directories of *.iq) to a
+	// gateway.
+	GatewayIngestFiles = gateway.IngestFiles
+	// GatewayServeTCP accepts one EOF-delimited trace per TCP connection.
+	GatewayServeTCP = gateway.ServeTCP
+
+	// ErrGatewayStopped reports a submit to a draining or stopped gateway.
+	ErrGatewayStopped = gateway.ErrStopped
+	// ErrGatewayQueueFull reports a submit refused (or a blocking wait cut
+	// short) by a full queue.
+	ErrGatewayQueueFull = gateway.ErrQueueFull
+	// ErrGatewayShed marks the outcome of an accepted frame dropped by
+	// load-shedding or shutdown instead of being decoded.
+	ErrGatewayShed = gateway.ErrShed
+	// ErrGatewayLadderExhausted marks a frame that failed every rung of the
+	// recovery ladder; it wraps the last rung's error.
+	ErrGatewayLadderExhausted = gateway.ErrLadderExhausted
+	// ErrGatewayDecodePanic marks a frame whose decode panicked; the panic
+	// is isolated to that frame.
+	ErrGatewayDecodePanic = gateway.ErrDecodePanic
+)
+
+// Shedding policies and ladder stages.
+const (
+	ShedBlock      = gateway.ShedBlock
+	ShedDropOldest = gateway.ShedDropOldest
+	ShedReject     = gateway.ShedReject
+
+	LadderStageFull      = gateway.StageFull
+	LadderStageRelaxed   = gateway.StageRelaxed
+	LadderStageStrongest = gateway.StageStrongest
 )
 
 // Observability (package internal/obs): process-wide counters and latency
@@ -337,6 +430,7 @@ var (
 	// ResetMetrics zeroes every registered metric (for test isolation).
 	ResetMetrics = obs.Reset
 	// ServeDebug starts an expvar + pprof HTTP server on the given address
-	// and returns the bound address.
+	// and returns the bound address plus a shutdown function that stops the
+	// server cleanly (graceful drain bounded by the shutdown context).
 	ServeDebug = obs.ServeDebug
 )

@@ -19,29 +19,48 @@
 //	choir-decode -workers 4 night/*.iq
 //	choir-decode -fault interferer -fault-rate 0.3 collision.iq
 //	choir-decode -metrics -debug-addr localhost:6060 collision.iq
+//
+// SIGINT/SIGTERM cancel the batch cooperatively: no new trace decode
+// starts, already-finished reports still print, the metrics snapshot
+// flushes, and the process exits 130 (interrupted) rather than 1 (failed).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
 	"choir"
 	"choir/internal/obs"
 	"choir/internal/trace"
 )
 
+// Exit codes: 0 success, 1 failure, 2 usage, 130 interrupted by signal.
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main with its environment made explicit so tests can drive the
-// whole command: argv excludes the program name, and the exit code is
-// returned instead of passed to os.Exit.
-func run(argv []string, stdout, stderr io.Writer) int {
+// whole command: ctx carries the signal-triggered cancellation, argv
+// excludes the program name, and the exit code is returned instead of
+// passed to os.Exit.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("choir-decode", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	team := fs.Bool("team", false, "decode as a coordinated team transmission")
@@ -52,19 +71,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
 	if err := fs.Parse(argv); err != nil {
-		return 2
+		return exitUsage
 	}
 	if fs.NArg() < 1 {
 		fmt.Fprintln(stderr, "usage: choir-decode [-team] [-workers n] [-fault class -fault-rate r] <trace.iq> [more.iq ...]")
-		return 2
+		return exitUsage
 	}
 	files := fs.Args()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
-	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	dumpMetrics, stopDebug, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
 	if err != nil {
 		fmt.Fprintln(stderr, "choir-decode:", err)
-		return 1
+		return exitFailed
 	}
+	defer stopDebug()
 	defer func() {
 		if err := dumpMetrics(); err != nil {
 			fmt.Fprintln(stderr, "choir-decode: metrics dump:", err)
@@ -76,11 +99,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		class, err := choir.ParseFaultClass(*faultClass)
 		if err != nil {
 			fmt.Fprintln(stderr, "choir-decode:", err)
-			return 1
+			return exitFailed
 		}
 		if inj, err = choir.NewFault(class, *faultRate); err != nil {
 			fmt.Fprintln(stderr, "choir-decode:", err)
-			return 1
+			return exitFailed
 		}
 	}
 
@@ -104,31 +127,47 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	// Workers write only into their own indexed slots; all printing happens
 	// afterwards on this goroutine, so report and error lines come out in
-	// argument order no matter how the decodes were scheduled.
+	// argument order no matter how the decodes were scheduled. A canceled
+	// context stops new decodes but the in-flight ones finish, so every slot
+	// is either complete or untouched.
 	reports := make([]string, len(files))
 	errs := make([]error, len(files))
-	choir.NewWorkerPool(*workers).ForEach(len(files), func(i int) {
-		reports[i], errs[i] = decodeTrace(files[i], uint64(i), *team, inj, poolFor)
+	done := make([]bool, len(files))
+	fanErr := choir.NewWorkerPool(*workers).ForEachCtx(ctx, len(files), func(i int) {
+		reports[i], errs[i] = decodeTrace(ctx, files[i], uint64(i), *team, inj, poolFor)
+		done[i] = true
 	})
-	exit := 0
+	exit := exitOK
 	for i, name := range files {
+		if !done[i] {
+			continue // never started: the batch was interrupted
+		}
 		if len(files) > 1 {
 			fmt.Fprintf(stdout, "== %s ==\n", name)
 		}
 		if errs[i] != nil {
+			if errors.Is(errs[i], choir.ErrDecodeCanceled) || errors.Is(errs[i], choir.ErrDecodeDeadline) {
+				fmt.Fprintf(stderr, "choir-decode: %s: interrupted: %v\n", name, errs[i])
+				continue // counted below via fanErr / ctx
+			}
 			fmt.Fprintf(stderr, "choir-decode: %s: %v\n", name, errs[i])
-			exit = 1
+			exit = exitFailed
 			continue
 		}
 		fmt.Fprint(stdout, reports[i])
+	}
+	if fanErr != nil || ctx.Err() != nil {
+		fmt.Fprintln(stderr, "choir-decode: interrupted; partial results above")
+		return exitInterrupted
 	}
 	return exit
 }
 
 // decodeTrace reads one trace, optionally corrupts it with inj, decodes it
 // with a pooled decoder, and returns the full report as a string so batch
-// output stays ordered.
-func decodeTrace(name string, index uint64, team bool, inj choir.FaultInjector, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
+// output stays ordered. A canceled context surfaces as an error (the trace
+// was not decoded), unlike an ordinary failed decode which is a report.
+func decodeTrace(ctx context.Context, name string, index uint64, team bool, inj choir.FaultInjector, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return "", err
@@ -161,8 +200,11 @@ func decodeTrace(name string, index uint64, team bool, inj choir.FaultInjector, 
 	}
 
 	if team {
-		res, err := dec.DecodeTeam(samples, h.PayloadLen)
+		res, err := dec.DecodeTeamCtx(ctx, samples, h.PayloadLen)
 		if err != nil {
+			if errors.Is(err, choir.ErrDecodeCanceled) || errors.Is(err, choir.ErrDecodeDeadline) {
+				return "", err
+			}
 			// A failed decode is a result, not a tool failure — under
 			// injected faults it is often the expected outcome, and one
 			// undecodable trace must not abort a batch.
@@ -180,8 +222,11 @@ func decodeTrace(name string, index uint64, team bool, inj choir.FaultInjector, 
 		return out.String(), nil
 	}
 
-	res, err := dec.Decode(samples, h.PayloadLen)
+	res, err := dec.DecodeCtx(ctx, samples, h.PayloadLen)
 	if err != nil {
+		if errors.Is(err, choir.ErrDecodeCanceled) || errors.Is(err, choir.ErrDecodeDeadline) {
+			return "", err
+		}
 		fmt.Fprintf(&out, "decode failed: %v\n", err)
 		return out.String(), nil
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -55,7 +56,7 @@ func TestRunOrdersOutputAcrossWorkers(t *testing.T) {
 	runOnce := func(workers int) (string, string, int) {
 		var stdout, stderr bytes.Buffer
 		args := append([]string{"-workers", fmt.Sprint(workers)}, files...)
-		code := run(args, &stdout, &stderr)
+		code := run(context.Background(), args, &stdout, &stderr)
 		return stdout.String(), stderr.String(), code
 	}
 
@@ -99,9 +100,27 @@ func TestRunOrdersOutputAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunInterruptedExitsBetween exercises the signal path: a context that
+// is already canceled when the batch starts decodes nothing and exits 130,
+// the shell's interrupted code, not 1.
+func TestRunInterruptedExits130(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "a.iq")
+	writeTestTrace(t, tr, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{tr}, &stdout, &stderr); code != 130 {
+		t.Errorf("exit code = %d with canceled context, want 130", code)
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not mention interruption:\n%s", stderr.String())
+	}
+}
+
 func TestRunUsageOnNoArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), nil, &stdout, &stderr); code != 2 {
 		t.Errorf("exit code = %d with no arguments, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "usage:") {

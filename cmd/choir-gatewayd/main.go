@@ -1,0 +1,206 @@
+// Command choir-gatewayd is the long-running Choir gateway service: a
+// resilient decode pipeline that accepts IQ captures from trace files,
+// directories, or a TCP ingest socket, queues them behind an explicit
+// backpressure policy, and decodes each one through the recovery ladder
+// (full SIC -> relaxed tunables -> single-strongest-user fallback) with
+// per-stage circuit breakers and seeded retry backoff. Every accepted
+// frame gets exactly one terminal outcome line on stdout: decoded, failed
+// with a typed error, or shed.
+//
+// TCP ingest carries one EOF-delimited trace per connection: the sender
+// writes the trace, half-closes its write side, and reads a one-line
+// status reply ("accepted <id>" or "error: <reason>").
+//
+// Usage:
+//
+//	choir-gatewayd night/*.iq
+//	choir-gatewayd -listen :7373
+//	choir-gatewayd -listen :7373 -queue 128 -shed-policy drop-oldest
+//	choir-gatewayd -decode-timeout 2s -max-retries 2 captures/
+//	choir-gatewayd -metrics -debug-addr localhost:6060 -listen :7373
+//
+// SIGINT/SIGTERM stop ingest and drain the queue gracefully (bounded by
+// -drain-timeout, then a hard stop that sheds the remainder); the metrics
+// snapshot still flushes and the process exits 130 rather than 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"choir/internal/gateway"
+	"choir/internal/obs"
+)
+
+// Exit codes: 0 success, 1 failure, 2 usage, 130 interrupted by signal.
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// whole daemon: ctx carries the signal-triggered shutdown, argv excludes
+// the program name, and the exit code is returned instead of passed to
+// os.Exit.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("choir-gatewayd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "", "TCP ingest address (e.g. :7373); one EOF-delimited trace per connection")
+	queue := fs.Int("queue", 64, "bounded ingest queue depth")
+	shedPolicy := fs.String("shed-policy", "block", "full-queue policy: block, drop-oldest, or reject")
+	workers := fs.Int("workers", 0, "decode workers (0 = all CPUs)")
+	decodeTimeout := fs.Duration("decode-timeout", 0, "per-attempt decode deadline (0 = none)")
+	maxRetries := fs.Int("max-retries", 2, "additional decode attempts after the first, walking down the recovery ladder")
+	backoff := fs.Duration("backoff", 10*time.Millisecond, "base retry delay (exponential with jitter, capped at 1s)")
+	breakerThreshold := fs.Int("breaker-threshold", 8, "consecutive failures that trip a stage's circuit breaker (<= 0 disables)")
+	breakerCooldown := fs.Int("breaker-cooldown", 16, "skipped attempts before a tripped breaker half-opens")
+	seed := fs.Uint64("seed", 1, "gateway seed; outcomes are a pure function of (seed, frame ID, stage)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown before queued frames are shed")
+	metrics := fs.Bool("metrics", false, "record gateway metrics and dump a JSON snapshot at exit")
+	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	if *listen == "" && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: choir-gatewayd [-listen addr] [-queue n -shed-policy p] [trace.iq | dir ...]")
+		return exitUsage
+	}
+	policy, err := gateway.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		fmt.Fprintln(stderr, "choir-gatewayd:", err)
+		return exitUsage
+	}
+	if *maxRetries < 0 {
+		fmt.Fprintln(stderr, "choir-gatewayd: -max-retries must be >= 0")
+		return exitUsage
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	dumpMetrics, stopDebug, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(stderr, "choir-gatewayd:", err)
+		return exitFailed
+	}
+	defer stopDebug()
+	defer func() {
+		if err := dumpMetrics(); err != nil {
+			fmt.Fprintln(stderr, "choir-gatewayd: metrics dump:", err)
+		}
+	}()
+
+	g, err := gateway.New(gateway.Config{
+		Queue:            *queue,
+		Policy:           policy,
+		Workers:          *workers,
+		DecodeTimeout:    *decodeTimeout,
+		MaxAttempts:      *maxRetries + 1,
+		BackoffBase:      *backoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "choir-gatewayd:", err)
+		return exitFailed
+	}
+
+	// The printer is the sole outcome consumer; it exits when Drain closes
+	// the stream, so by the time it is joined every terminal outcome has
+	// been written.
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		for o := range g.Outcomes() {
+			printOutcome(stdout, o)
+		}
+	}()
+
+	ingestOK := true
+	if fs.NArg() > 0 {
+		accepted, errs := gateway.IngestFiles(ctx, g, fs.Args())
+		for _, e := range errs {
+			fmt.Fprintln(stderr, "choir-gatewayd:", e)
+			ingestOK = false
+		}
+		fmt.Fprintf(stderr, "choir-gatewayd: accepted %d trace(s)\n", accepted)
+	}
+
+	serveOK := true
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "choir-gatewayd:", err)
+			drain(g, *drainTimeout, stderr)
+			<-printerDone
+			return exitFailed
+		}
+		fmt.Fprintf(stderr, "choir-gatewayd: listening on %s\n", ln.Addr())
+		if err := gateway.ServeTCP(ctx, g, ln); err != nil {
+			fmt.Fprintln(stderr, "choir-gatewayd:", err)
+			serveOK = false
+		}
+	}
+
+	interrupted := ctx.Err() != nil
+	drain(g, *drainTimeout, stderr)
+	<-printerDone
+
+	st := g.Stats()
+	fmt.Fprintf(stderr, "choir-gatewayd: accepted %d, decoded %d (%d recovered by ladder), failed %d, shed %d\n",
+		st.Accepted, st.Decoded, st.Recovered, st.Failed, st.Shed)
+	if interrupted {
+		fmt.Fprintln(stderr, "choir-gatewayd: interrupted")
+		return exitInterrupted
+	}
+	if !ingestOK || !serveOK {
+		return exitFailed
+	}
+	return exitOK
+}
+
+// drain gives the gateway a bounded graceful drain. The budget uses a
+// fresh context: on shutdown the signal context is already dead, and a
+// hard stop must remain reachable after it.
+func drain(g *gateway.Gateway, budget time.Duration, stderr io.Writer) {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		fmt.Fprintln(stderr, "choir-gatewayd:", err)
+	}
+}
+
+// printOutcome writes one frame's terminal outcome as a single line.
+func printOutcome(w io.Writer, o gateway.Outcome) {
+	switch o.Kind {
+	case gateway.OutcomeDecoded:
+		fmt.Fprintf(w, "frame %d (%s): decoded %d payload(s) of %d user(s) at stage %s, attempt %d:",
+			o.FrameID, o.Source, len(o.Payloads), o.Users, o.Stage, o.Attempts)
+		for _, p := range o.Payloads {
+			fmt.Fprintf(w, " %x", p)
+		}
+		fmt.Fprintln(w)
+	case gateway.OutcomeShed:
+		fmt.Fprintf(w, "frame %d (%s): shed: %v\n", o.FrameID, o.Source, o.Err)
+	default:
+		fmt.Fprintf(w, "frame %d (%s): failed after %d attempt(s): %v\n",
+			o.FrameID, o.Source, o.Attempts, o.Err)
+	}
+}

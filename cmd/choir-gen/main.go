@@ -32,10 +32,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
 	flag.Parse()
 
-	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	dumpMetrics, stopDebug, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer stopDebug()
 	defer func() {
 		if err := dumpMetrics(); err != nil {
 			log.Printf("metrics dump: %v", err)

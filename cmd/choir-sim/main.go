@@ -10,38 +10,76 @@
 //
 // Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
 // fig11a fig11b fig12 e2e faultsweep headline all
+//
+// SIGINT/SIGTERM cancel the in-flight experiment cooperatively: no new
+// trial starts, the metrics snapshot still flushes, and the process exits
+// with code 130 (interrupted) rather than 1 (failed).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"choir"
 	"choir/internal/obs"
 )
 
-func main() {
-	exp := flag.String("exp", "headline", "experiment id (fig7ab..fig12, headline, all)")
-	calibrate := flag.Bool("calibrate", false, "calibrate the Choir MAC model with the IQ-level decoder")
-	slots := flag.Int("slots", 4000, "MAC simulation length in slots")
-	seed := flag.Uint64("seed", 7, "simulation seed")
-	workers := flag.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
-	faultClass := flag.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
-	faultRate := flag.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
-	metrics := flag.Bool("metrics", false, "record decode/MAC metrics and dump a JSON snapshot at exit")
-	metricsOut := flag.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
-	flag.Parse()
+// Exit codes: 0 success, 1 failure, 2 usage, 130 interrupted by signal
+// (128+SIGINT, the shell convention).
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
 
-	dumpMetrics, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
-	if err != nil {
-		log.Fatal(err)
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// whole command: ctx carries the signal-triggered cancellation, argv
+// excludes the program name, and the exit code is returned instead of
+// passed to os.Exit.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("choir-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "headline", "experiment id (fig7ab..fig12, headline, all)")
+	calibrate := fs.Bool("calibrate", false, "calibrate the Choir MAC model with the IQ-level decoder")
+	slots := fs.Int("slots", 4000, "MAC simulation length in slots")
+	seed := fs.Uint64("seed", 7, "simulation seed")
+	workers := fs.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
+	faultClass := fs.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
+	faultRate := fs.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
+	metrics := fs.Bool("metrics", false, "record decode/MAC metrics and dump a JSON snapshot at exit")
+	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	dumpMetrics, stopDebug, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(stderr, "choir-sim:", err)
+		return exitFailed
+	}
+	defer stopDebug()
+	// The snapshot flushes even on interrupt: partial sweeps still leave
+	// their counters behind for post-mortem.
 	defer func() {
 		if err := dumpMetrics(); err != nil {
-			log.Printf("metrics dump: %v", err)
+			fmt.Fprintln(stderr, "choir-sim: metrics dump:", err)
 		}
 	}()
 
@@ -53,91 +91,109 @@ func main() {
 		cfg.Calibration.Trials = 0
 	}
 
-	runners := map[string]func() error{
-		"fig7ab": func() error { choir.Fig7Offsets(30, *seed).Fprint(os.Stdout); return nil },
-		"fig7cd": func() error { choir.Fig7Stability(4, *seed, *workers).Fprint(os.Stdout); return nil },
-		"fig8abc": func() error {
+	runners := map[string]func(context.Context) error{
+		"fig7ab": func(context.Context) error { choir.Fig7Offsets(30, *seed).Fprint(stdout); return nil },
+		"fig7cd": func(ctx context.Context) error {
+			fig, err := choir.Fig7StabilityCtx(ctx, 4, *seed, *workers)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(stdout)
+			return nil
+		},
+		"fig8abc": func(ctx context.Context) error {
 			for _, m := range []choir.ExperimentMetric{choir.MetricThroughput, choir.MetricLatency, choir.MetricTxCount} {
-				fig, err := choir.Fig8SNR(cfg, m)
+				fig, err := choir.Fig8SNRCtx(ctx, cfg, m)
 				if err != nil {
 					return err
 				}
-				fig.Fprint(os.Stdout)
-				fmt.Println()
+				fig.Fprint(stdout)
+				fmt.Fprintln(stdout)
 			}
 			return nil
 		},
-		"fig8d": figUsers(cfg, choir.MetricThroughput),
-		"fig8e": figUsers(cfg, choir.MetricLatency),
-		"fig8f": figUsers(cfg, choir.MetricTxCount),
-		"fig9a": func() error { choir.Fig9Throughput(-22, 30).Fprint(os.Stdout); return nil },
-		"fig9b": func() error { choir.Fig9Range(30).Fprint(os.Stdout); return nil },
-		"fig10": func() error {
-			choir.Fig10Resolution([]float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, *seed, *workers).Fprint(os.Stdout)
-			return nil
-		},
-		"fig11a": func() error { choir.Fig11Grouping(6, 20, *seed, *workers).Fprint(os.Stdout); return nil },
-		"fig11b": func() error {
-			fig, err := choir.Fig11Throughput(cfg, 10, 4, 5)
+		"fig8d": figUsers(cfg, choir.MetricThroughput, stdout),
+		"fig8e": figUsers(cfg, choir.MetricLatency, stdout),
+		"fig8f": figUsers(cfg, choir.MetricTxCount, stdout),
+		"fig9a": func(context.Context) error { choir.Fig9Throughput(-22, 30).Fprint(stdout); return nil },
+		"fig9b": func(context.Context) error { choir.Fig9Range(30).Fprint(stdout); return nil },
+		"fig10": func(ctx context.Context) error {
+			fig, err := choir.Fig10ResolutionCtx(ctx, []float64{200, 600, 1000, 1400, 1800, 2200, 2600, 3000}, 5, *seed, *workers)
 			if err != nil {
 				return err
 			}
-			fig.Fprint(os.Stdout)
+			fig.Fprint(stdout)
 			return nil
 		},
-		"fig12": func() error {
+		"fig11a": func(ctx context.Context) error {
+			fig, err := choir.Fig11GroupingCtx(ctx, 6, 20, *seed, *workers)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(stdout)
+			return nil
+		},
+		"fig11b": func(ctx context.Context) error {
+			fig, err := choir.Fig11ThroughputCtx(ctx, cfg, 10, 4, 5)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(stdout)
+			return nil
+		},
+		"fig12": func(ctx context.Context) error {
 			f12 := choir.DefaultFig12()
 			f12.Fig8 = cfg
-			fig, err := choir.Fig12MUMIMO(f12)
+			fig, err := choir.Fig12MUMIMOCtx(ctx, f12)
 			if err != nil {
 				return err
 			}
-			fig.Fprint(os.Stdout)
+			fig.Fprint(stdout)
 			return nil
 		},
-		"e2e": func() error {
+		"e2e": func(ctx context.Context) error {
 			e2eCfg := choir.DefaultE2E()
 			e2eCfg.Workers = *workers
-			rep, err := choir.EndToEnd(e2eCfg)
+			rep, err := choir.EndToEndCtx(ctx, e2eCfg)
 			if err != nil {
 				return err
 			}
-			fmt.Println(rep)
+			fmt.Fprintln(stdout, rep)
 			return nil
 		},
-		"faultsweep": func() error {
-			fs := choir.DefaultFaultSweep()
-			fs.Seed = *seed
-			fs.Workers = *workers
+		"faultsweep": func(ctx context.Context) error {
+			fsw := choir.DefaultFaultSweep()
+			fsw.Seed = *seed
+			fsw.Workers = *workers
 			if *faultClass != "all" {
 				c, err := choir.ParseFaultClass(*faultClass)
 				if err != nil {
 					return err
 				}
-				fs.Classes = []choir.FaultClass{c}
+				fsw.Classes = []choir.FaultClass{c}
 			}
 			if *faultRate != 0 {
 				// A single requested rate still carries the zero-intensity
 				// anchor so the unfaulted baseline prints alongside it.
-				fs.Intensities = []float64{0, *faultRate}
+				fsw.Intensities = []float64{0, *faultRate}
 			}
-			fig, err := choir.FaultSweep(fs)
+			fig, err := choir.FaultSweepCtx(ctx, fsw)
 			if err != nil {
 				return err
 			}
-			fig.Fprint(os.Stdout)
+			fig.Fprint(stdout)
 			return nil
 		},
-		"headline": func() error {
-			h, err := choir.ComputeHeadline(cfg)
+		"headline": func(ctx context.Context) error {
+			h, err := choir.ComputeHeadlineCtx(ctx, cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("throughput gain vs ALOHA : %6.2fx  (paper: 29.02x)\n", h.ThroughputGainVsAloha)
-			fmt.Printf("throughput gain vs Oracle: %6.2fx  (paper:  6.84x)\n", h.ThroughputGainVsOracle)
-			fmt.Printf("latency reduction        : %6.2fx  (paper:  4.88x)\n", h.LatencyReduction)
-			fmt.Printf("transmission reduction   : %6.2fx  (paper:  4.54x)\n", h.TxReduction)
-			fmt.Printf("range gain @30-node teams: %6.2fx  (paper:  2.65x)\n", h.RangeGain)
+			fmt.Fprintf(stdout, "throughput gain vs ALOHA : %6.2fx  (paper: 29.02x)\n", h.ThroughputGainVsAloha)
+			fmt.Fprintf(stdout, "throughput gain vs Oracle: %6.2fx  (paper:  6.84x)\n", h.ThroughputGainVsOracle)
+			fmt.Fprintf(stdout, "latency reduction        : %6.2fx  (paper:  4.88x)\n", h.LatencyReduction)
+			fmt.Fprintf(stdout, "transmission reduction   : %6.2fx  (paper:  4.54x)\n", h.TxReduction)
+			fmt.Fprintf(stdout, "range gain @30-node teams: %6.2fx  (paper:  2.65x)\n", h.RangeGain)
 			return nil
 		},
 	}
@@ -145,32 +201,45 @@ func main() {
 	order := []string{"fig7ab", "fig7cd", "fig8abc", "fig8d", "fig8e", "fig8f",
 		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline"}
 
+	report := func(id string, err error) int {
+		// Interrupted and failed are different outcomes: a canceled context
+		// means the user asked to stop, not that the experiment is wrong.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "choir-sim: %s interrupted: %v\n", id, err)
+			return exitInterrupted
+		}
+		fmt.Fprintf(stderr, "choir-sim: %s: %v\n", id, err)
+		return exitFailed
+	}
+
 	if *exp == "all" {
 		for _, id := range order {
-			fmt.Printf("==== %s ====\n", id)
-			if err := runners[id](); err != nil {
-				log.Fatalf("%s: %v", id, err)
+			fmt.Fprintf(stdout, "==== %s ====\n", id)
+			if err := runners[id](ctx); err != nil {
+				return report(id, err)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return exitOK
 	}
-	run, ok := runners[*exp]
+	runner, ok := runners[*exp]
 	if !ok {
-		log.Fatalf("unknown experiment %q; one of %v or all", *exp, order)
+		fmt.Fprintf(stderr, "choir-sim: unknown experiment %q; one of %v or all\n", *exp, order)
+		return exitUsage
 	}
-	if err := run(); err != nil {
-		log.Fatal(err)
+	if err := runner(ctx); err != nil {
+		return report(*exp, err)
 	}
+	return exitOK
 }
 
-func figUsers(cfg choir.ExperimentConfig, m choir.ExperimentMetric) func() error {
-	return func() error {
-		fig, err := choir.Fig8Users(cfg, m)
+func figUsers(cfg choir.ExperimentConfig, m choir.ExperimentMetric, stdout io.Writer) func(context.Context) error {
+	return func(ctx context.Context) error {
+		fig, err := choir.Fig8UsersCtx(ctx, cfg, m)
 		if err != nil {
 			return err
 		}
-		fig.Fprint(os.Stdout)
+		fig.Fprint(stdout)
 		return nil
 	}
 }

@@ -45,6 +45,9 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 
 	allPeaks := make([][]peakObs, nsym)
 	for w := 0; w < nsym; w++ {
+		if d.canceled() {
+			return users
+		}
 		off := start + w*d.n
 		if off+d.n > len(samples) {
 			break
@@ -68,6 +71,9 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 	// stays on the symbol grid.
 	missing := make([]int, len(users))
 	for w := 0; w < nsym; w++ {
+		if d.canceled() {
+			return users
+		}
 		off := start + w*d.n
 		if off+d.n > len(samples) {
 			break
@@ -85,6 +91,9 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 	for iter := 0; iter < 2; iter++ {
 		changed := 0
 		for w := 0; w < nsym; w++ {
+			if d.canceled() {
+				return users
+			}
 			off := start + w*d.n
 			if off+d.n > len(samples) {
 				break
@@ -284,6 +293,9 @@ func (d *Decoder) estimateBoundaries(samples []complex128, start, nsym int, user
 	step := 2
 	work := make([]complex128, d.n)
 	for ui, u := range users {
+		if d.canceled() {
+			return bounds
+		}
 		scores := make([]float64, d.n/step+1)
 		probes := 0
 		for w := 1; w < nsym-1 && probes < maxProbe; w += 3 {

@@ -30,6 +30,7 @@
 package choir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -128,6 +129,14 @@ type Decoder struct {
 	scratchPad  []complex128
 	scratchSpec []complex128
 	scratchMags []float64
+
+	// ctx/ctxErr hold the active DecodeCtx context during a decode. ctxErr
+	// latches the first observed cancellation (mapped to ErrCanceled /
+	// ErrDeadline) so every later stage-boundary poll short-circuits. Both
+	// are cleared when the decode returns, so a pooled decoder carries no
+	// cancellation state between checkouts.
+	ctx    context.Context
+	ctxErr error
 }
 
 // New validates cfg and builds a decoder.
@@ -274,6 +283,20 @@ var ErrNoUsers = errors.New("choir: no users detected")
 // sample zero) and contain the full frame; payloadLen is the expected
 // payload length in bytes, as fixed by the network's schedule.
 func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) {
+	return d.DecodeCtx(context.Background(), samples, payloadLen)
+}
+
+// DecodeCtx is Decode bounded by a context. Cancellation is cooperative:
+// the decoder polls ctx between pipeline stages (preamble windows, SIC
+// phases, data windows, IC sweeps) and returns a typed ErrCanceled or
+// ErrDeadline — wrapping ctx.Err() — within one stage boundary of the
+// context firing. A context that never fires does not perturb the decode:
+// results are bit-identical to Decode. The decoder remains valid for reuse
+// after a canceled decode (scratch state is rebuilt per call and the RNG is
+// untouched by the polls), so pooled decoders need no special handling.
+func (d *Decoder) DecodeCtx(ctx context.Context, samples []complex128, payloadLen int) (*Result, error) {
+	d.armCtx(ctx)
+	defer d.disarmCtx()
 	sp := mDecodeTimer.Start()
 	defer sp.Stop()
 	mDecodes.Inc()
@@ -289,17 +312,61 @@ func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) 
 		return nil, err
 	}
 	ests := d.estimatePreamble(samples)
+	if d.canceled() {
+		countDecodeErr(d.ctxErr)
+		return nil, d.ctxErr
+	}
 	if len(ests) == 0 {
 		countDecodeErr(ErrNoUsers)
 		return nil, ErrNoUsers
 	}
 	mUsersDetected.Add(int64(len(ests)))
 	users := d.decodeData(samples, ests, payloadLen)
+	if d.canceled() {
+		countDecodeErr(d.ctxErr)
+		return nil, d.ctxErr
+	}
 	for _, u := range users {
 		countUserOutcome(u)
 	}
 	countDecodeErr(nil)
 	return &Result{Users: users}, nil
+}
+
+// armCtx installs ctx as the active decode context. Contexts that can never
+// fire (nil, Background, TODO — anything with a nil Done channel) are not
+// installed, so plain Decode pays nothing for the cancellation machinery.
+func (d *Decoder) armCtx(ctx context.Context) {
+	d.ctx, d.ctxErr = nil, nil
+	if ctx != nil && ctx.Done() != nil {
+		d.ctx = ctx
+	}
+}
+
+func (d *Decoder) disarmCtx() { d.ctx, d.ctxErr = nil, nil }
+
+// canceled polls the active decode context once — this is the cooperative
+// cancellation point the pipeline stages call at their boundaries — and
+// latches the first failure as a typed error in d.ctxErr.
+func (d *Decoder) canceled() bool {
+	if d.ctxErr != nil {
+		return true
+	}
+	if d.ctx == nil {
+		return false
+	}
+	select {
+	case <-d.ctx.Done():
+		cause := d.ctx.Err()
+		if errors.Is(cause, context.DeadlineExceeded) {
+			d.ctxErr = fmt.Errorf("%w: %w", ErrDeadline, cause)
+		} else {
+			d.ctxErr = fmt.Errorf("%w: %w", ErrCanceled, cause)
+		}
+		return true
+	default:
+		return false
+	}
 }
 
 // dechirpWindow dechirps the n-sample window starting at off into the

@@ -34,6 +34,8 @@ var (
 	mErrSaturated     = obs.NewCounter("choir.decode.err.saturated")
 	mErrShortSignal   = obs.NewCounter("choir.decode.err.short_signal")
 	mErrNoUsers       = obs.NewCounter("choir.decode.err.no_users")
+	mErrCanceled      = obs.NewCounter("choir.decode.err.canceled")
+	mErrDeadline      = obs.NewCounter("choir.decode.err.deadline")
 	mErrOther         = obs.NewCounter("choir.decode.err.other")
 	mUsersDetected    = obs.NewCounter("choir.users.detected")
 	mUserDecoded      = obs.NewCounter("choir.users.decoded")
@@ -55,6 +57,10 @@ func countDecodeErr(err error) {
 		mErrShortSignal.Inc()
 	case errors.Is(err, ErrNoUsers), errors.Is(err, ErrNotDetected):
 		mErrNoUsers.Inc()
+	case errors.Is(err, ErrDeadline):
+		mErrDeadline.Inc()
+	case errors.Is(err, ErrCanceled):
+		mErrCanceled.Inc()
 	default:
 		mErrOther.Inc()
 	}

@@ -32,12 +32,18 @@ func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
 	// reconstructed strong users from these.
 	wins := make([][]complex128, nWin)
 	for w := 0; w < nWin; w++ {
+		if d.canceled() {
+			return nil
+		}
 		dech := d.dechirpWindow(samples, w*d.n)
 		wins[w] = append([]complex128(nil), dech...)
 	}
 
 	var users []userEstimate
 	for phase := 0; phase <= d.cfg.SICPhases; phase++ {
+		if d.canceled() {
+			return nil
+		}
 		found := d.findPreambleUsers(wins, users)
 		if len(found) == 0 {
 			break
@@ -198,6 +204,9 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 		ests[i].gainWin = make([]complex128, 0, len(wins))
 	}
 	for _, dech := range wins {
+		if d.canceled() {
+			return nil
+		}
 		offs := append([]float64(nil), coarse...)
 		var hs []complex128
 		var i0s []int

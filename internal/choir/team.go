@@ -1,6 +1,7 @@
 package choir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,9 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 	}
 	acc := make([]float64, d.padN)
 	for w := 0; w < p.PreambleLen; w++ {
+		if d.canceled() {
+			return nil, d.ctxErr
+		}
 		dech := d.dechirpWindow(samples, w*d.n)
 		spec := d.paddedSpectrum(dech)
 		for i, v := range spec {
@@ -87,6 +91,14 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 // energy over all members, decoding succeeds even when every individual
 // member is below the noise floor.
 func (d *Decoder) DecodeTeam(samples []complex128, payloadLen int) (*TeamResult, error) {
+	return d.DecodeTeamCtx(context.Background(), samples, payloadLen)
+}
+
+// DecodeTeamCtx is DecodeTeam bounded by a context, with the same
+// cooperative stage-boundary cancellation contract as DecodeCtx.
+func (d *Decoder) DecodeTeamCtx(ctx context.Context, samples []complex128, payloadLen int) (*TeamResult, error) {
+	d.armCtx(ctx)
+	defer d.disarmCtx()
 	sp := mTeamDecodeTimer.Start()
 	defer sp.Stop()
 	mDecodes.Inc()
@@ -109,6 +121,10 @@ func (d *Decoder) DecodeTeam(samples []complex128, payloadLen int) (*TeamResult,
 	// progression of the fractional offset).
 	gains := make([]complex128, len(offs))
 	for i, f := range offs {
+		if d.canceled() {
+			countDecodeErr(d.ctxErr)
+			return nil, d.ctxErr
+		}
 		frac := f - math.Floor(f)
 		var sum complex128
 		for w := 0; w < p.PreambleLen; w++ {
@@ -126,6 +142,10 @@ func (d *Decoder) DecodeTeam(samples []complex128, payloadLen int) (*TeamResult,
 	start := p.HeaderSymbols() * d.n
 	res.Symbols = make([]int, nsym)
 	for w := 0; w < nsym; w++ {
+		if d.canceled() {
+			countDecodeErr(d.ctxErr)
+			return nil, d.ctxErr
+		}
 		dech := d.dechirpWindow(samples, start+w*d.n)
 		spec := d.paddedSpectrum(dech)
 		res.Symbols[w] = d.mlSymbol(spec, offs)

@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,8 +49,33 @@ func (p *Pool) Workers() int { return p.workers }
 // state alone. A panic in any task is re-raised on the calling goroutine
 // after the remaining workers drain.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	// A nil ctx never cancels, so the error is structurally nil.
+	_ = p.forEach(nil, n, fn)
+}
+
+// ForEachCtx is ForEach bounded by a context. Cancellation is cooperative
+// and preserves the determinism contract: once ctx fires no NEW index is
+// handed out, but every task already started runs to completion — a slot is
+// either fully written or never touched, never half-done. The returned
+// error is ctx.Err() (wrapped) when the fan-out was cut short, nil when all
+// n tasks ran.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return p.forEach(ctx, n, fn)
+}
+
+// forEach is the shared fan-out core. ctx == nil means "never cancels" and
+// skips the per-index poll entirely, keeping the unbounded path identical
+// to the pre-context engine.
+func (p *Pool) forEach(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	stopped := func() bool { return false }
+	if ctx != nil {
+		stopped = func() bool { return ctx.Err() != nil }
 	}
 	w := p.workers
 	if w > n {
@@ -78,9 +104,13 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if stopped() {
+				mPoolCanceled.Inc()
+				return fmt.Errorf("exec: fan-out canceled at task %d/%d: %w", i, n, ctx.Err())
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
 		next     atomic.Int64
@@ -92,6 +122,9 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stopped() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() != nil {
 					return
@@ -111,6 +144,14 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}
+	// "Cut short" means some index was never handed out. A context that
+	// fires after the last task was already picked up changed nothing, so
+	// the fan-out still reports success.
+	if handed := int(next.Load()); handed < n && stopped() {
+		mPoolCanceled.Inc()
+		return fmt.Errorf("exec: fan-out canceled after %d/%d tasks: %w", handed, n, ctx.Err())
+	}
+	return nil
 }
 
 // Map runs fn over [0, n) and collects the results in index order — the
@@ -119,4 +160,14 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	p.ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapCtx is Map bounded by a context: on cancellation the partial results
+// are discarded and the fan-out error is returned.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := p.ForEachCtx(ctx, n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

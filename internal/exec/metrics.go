@@ -15,6 +15,7 @@ var (
 	mPoolCapacityNS = obs.NewCounter("exec.pool.capacity_ns")
 	mPoolTaskNS     = obs.NewTimer("exec.pool.task_ns")
 	mPoolQueueWait  = obs.NewHistogram("exec.pool.queue_wait_ns")
+	mPoolCanceled   = obs.NewCounter("exec.pool.canceled")
 
 	mDecGets   = obs.NewCounter("exec.decoderpool.gets")
 	mDecHits   = obs.NewCounter("exec.decoderpool.hits")

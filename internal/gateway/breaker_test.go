@@ -1,0 +1,76 @@
+package gateway
+
+import "testing"
+
+// TestBreakerStateMachine walks the breaker through trip, cooldown,
+// half-open probe failure, and probe-success recovery.
+func TestBreakerStateMachine(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 2}
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("attempt %d disallowed before trip", i)
+		}
+		b.record(false)
+	}
+	if !b.isTripped() {
+		t.Fatal("breaker not tripped after 3 consecutive failures")
+	}
+
+	// Open: the first cooldown-1 attempts are skipped.
+	if ok, skip := b.allow(); ok || !skip {
+		t.Fatalf("allow() = %v,%v while open, want false,true", ok, skip)
+	}
+	// The cooldown-th skip half-opens: one probe goes through.
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("no half-open probe after cooldown skips")
+	}
+	// While the probe is in flight other attempts stay shed.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second probe allowed while first is in flight")
+	}
+	// Failed probe re-opens for another cooldown.
+	b.record(false)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("attempt allowed immediately after failed probe")
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("no second probe after another cooldown")
+	}
+	// Successful probe closes the breaker entirely.
+	b.record(true)
+	if b.isTripped() {
+		t.Fatal("breaker still tripped after successful probe")
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("attempt disallowed after recovery")
+	}
+}
+
+// TestBreakerDisabled pins that a non-positive threshold disables the
+// breaker entirely.
+func TestBreakerDisabled(t *testing.T) {
+	b := &breaker{threshold: -1, cooldown: 1}
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatal("disabled breaker blocked an attempt")
+		}
+		b.record(false)
+	}
+	if b.isTripped() {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+// TestParseShedPolicy pins the round trip.
+func TestParseShedPolicy(t *testing.T) {
+	for _, p := range []ShedPolicy{ShedBlock, ShedDropOldest, ShedReject} {
+		got, err := ParseShedPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseShedPolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParseShedPolicy("bogus"); err == nil {
+		t.Error("ParseShedPolicy(bogus) did not error")
+	}
+}

@@ -1,0 +1,179 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"choir/internal/choir"
+	"choir/internal/fault"
+	"choir/internal/lora"
+	"choir/internal/trace"
+)
+
+// TestChaosGatewaySmoke is the chaos soak: golden fixtures corrupted by a
+// fault chain, deliberately malformed frames, a tiny queue under
+// drop-oldest shedding, and a mid-run hard stop. The gateway must survive
+// with zero panics, account for every accepted frame with exactly one
+// terminal outcome, surface only taxonomy-typed errors, and leak no
+// goroutines.
+func TestChaosGatewaySmoke(t *testing.T) {
+	// Load the golden fixtures up front so fixture I/O is outside the
+	// goroutine baseline.
+	dir := filepath.Join("..", "choir", "testdata", "golden")
+	names, err := filepath.Glob(filepath.Join(dir, "*.iq"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no golden fixtures in %s: %v", dir, err)
+	}
+	type fixture struct {
+		h       trace.Header
+		samples []complex128
+	}
+	var fixtures []fixture
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, samples, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fixtures = append(fixtures, fixture{h, samples})
+	}
+	chain := fault.Chain{
+		fault.MustNew(fault.Clip, 0.6),
+		fault.MustNew(fault.DriftStep, 0.5),
+		fault.MustNew(fault.DropBurst, 0.4),
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	g, err := New(Config{
+		Queue:            2,
+		Policy:           ShedDropOldest,
+		Workers:          2,
+		Seed:             99,
+		MaxAttempts:      3,
+		BackoffBase:      time.Microsecond,
+		DecodeTimeout:    5 * time.Second,
+		BreakerThreshold: 4,
+		BreakerCooldown:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := collectOutcomes(g)
+
+	const frames = 30
+	accepted := 0
+	for i := 0; i < frames; i++ {
+		fx := fixtures[i%len(fixtures)]
+		samples := chain.Apply(append([]complex128(nil), fx.samples...), uint64(i)*0x9E37+1)
+		h := fx.h
+		switch i % 10 {
+		case 7:
+			// Malformed: too short for even one preamble symbol.
+			samples = samples[:8]
+		case 8:
+			// Malformed: non-finite IQ.
+			samples[len(samples)/2] = complex(math.NaN(), 0)
+		case 9:
+			// Malformed: rail-pinned beyond the saturation gate.
+			peak := 0.0
+			for _, s := range samples {
+				peak = math.Max(peak, cmplx.Abs(s))
+			}
+			for j := range samples {
+				samples[j] = complex(peak, peak)
+			}
+		}
+		if _, err := g.Submit(nil, fmt.Sprintf("chaos-%d", i), h, samples); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		accepted++
+	}
+
+	// Hard stop mid-run: the drain deadline fires long before 30 frames of
+	// triple-fault decode work can finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_ = g.Drain(ctx)
+	outs := <-done
+
+	if len(outs) != accepted {
+		t.Fatalf("got %d outcomes for %d accepted frames", len(outs), accepted)
+	}
+	st := g.Stats()
+	if st.Accepted != int64(accepted) || st.Decoded+st.Failed+st.Shed != int64(accepted) {
+		t.Errorf("stats do not balance against accepted frames: %+v", st)
+	}
+	seen := map[uint64]bool{}
+	for _, o := range outs {
+		if seen[o.FrameID] {
+			t.Errorf("frame %d has two terminal outcomes", o.FrameID)
+		}
+		seen[o.FrameID] = true
+		switch o.Kind {
+		case OutcomeDecoded:
+			if len(o.Payloads) == 0 {
+				t.Errorf("frame %d decoded with no payloads", o.FrameID)
+			}
+		case OutcomeShed:
+			if !errors.Is(o.Err, ErrShed) {
+				t.Errorf("frame %d shed with untyped error: %v", o.FrameID, o.Err)
+			}
+		case OutcomeFailed:
+			if !errors.Is(o.Err, ErrLadderExhausted) && !errors.Is(o.Err, choir.ErrCanceled) {
+				t.Errorf("frame %d failed outside the taxonomy: %v", o.FrameID, o.Err)
+				continue
+			}
+			if errors.Is(o.Err, ErrLadderExhausted) && !typedCause(o.Err) {
+				t.Errorf("frame %d exhausted the ladder with an untyped cause: %v", o.FrameID, o.Err)
+			}
+		default:
+			t.Errorf("frame %d has unknown outcome kind %v", o.FrameID, o.Kind)
+		}
+	}
+
+	// No goroutine leaks: everything the gateway started must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// typedCause reports whether err wraps one of the decode-error taxonomy
+// sentinels (or a gateway-layer typed error).
+func typedCause(err error) bool {
+	for _, sentinel := range []error{
+		choir.ErrBadIQ,
+		choir.ErrSaturated,
+		choir.ErrTrackingLost,
+		choir.ErrNoUsers,
+		choir.ErrNotDetected,
+		choir.ErrCanceled,
+		choir.ErrDeadline,
+		lora.ErrShortSignal,
+		lora.ErrCRC,
+		ErrNoPayloads,
+		ErrDecodePanic,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}

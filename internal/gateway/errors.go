@@ -1,0 +1,38 @@
+package gateway
+
+import "errors"
+
+// The gateway's error taxonomy. Every failed or shed outcome carries an
+// error chain that errors.Is-matches exactly one of these sentinels (or one
+// of the decoder's own sentinels — choir.ErrBadIQ, choir.ErrCanceled, ... —
+// when the failure happened inside a decode attempt).
+var (
+	// ErrStopped reports a Submit after the gateway began draining: the
+	// frame was never accepted and will produce no outcome.
+	ErrStopped = errors.New("gateway: stopped")
+
+	// ErrQueueFull reports a Submit rejected under ShedReject (or a
+	// ShedBlock submit whose own context fired while waiting): the frame
+	// was never accepted and will produce no outcome.
+	ErrQueueFull = errors.New("gateway: queue full")
+
+	// ErrDecodePanic reports a decode attempt that panicked; the panic was
+	// recovered inside the worker and converted into this per-frame error,
+	// so one poisoned capture cannot take the service down.
+	ErrDecodePanic = errors.New("gateway: decode panicked")
+
+	// ErrNoPayloads reports a decode attempt that completed without error
+	// but recovered no payload — every detected user failed CRC or tracking.
+	// The ladder treats it as a retryable failure.
+	ErrNoPayloads = errors.New("gateway: no payloads recovered")
+
+	// ErrShed marks a frame that was accepted but never decoded: evicted by
+	// the drop-oldest policy or flushed during shutdown. Shed outcomes wrap
+	// ErrShed with the specific reason.
+	ErrShed = errors.New("gateway: frame shed")
+
+	// ErrLadderExhausted reports that every recovery stage was attempted
+	// (or breaker-skipped) without recovering a payload. It wraps the last
+	// attempt's error.
+	ErrLadderExhausted = errors.New("gateway: recovery ladder exhausted")
+)

@@ -1,0 +1,455 @@
+// Package gateway is the resilient long-running service wrapper around the
+// Choir collision decoder: a bounded ingest queue with explicit
+// backpressure and load-shedding policies, a pool of decode workers with
+// panic isolation, a decode-recovery ladder (full SIC → relaxed tunables →
+// single-strongest-user) with seeded backoff and per-stage circuit
+// breakers, and a graceful drain-then-stop shutdown.
+//
+// The contract the chaos tests pin: every frame the gateway accepts
+// produces exactly one terminal outcome — decoded, failed with a
+// taxonomy-typed error, or shed — and the process never panics and never
+// leaks goroutines, whatever mix of corrupt IQ, queue overflow and mid-run
+// shutdown it is fed. Results are deterministic for any worker count: each
+// frame's decode seeds depend only on (gateway seed, frame ID, stage).
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"choir/internal/exec"
+	"choir/internal/lora"
+	"choir/internal/trace"
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Queue is the bounded ingest-queue capacity (default 64).
+	Queue int
+	// Policy selects what Submit does when the queue is full.
+	Policy ShedPolicy
+	// Workers is the number of decode workers (default GOMAXPROCS).
+	Workers int
+	// DecodeTimeout bounds each decode attempt; 0 means unbounded. The
+	// deadline is enforced cooperatively at the decoder's stage boundaries
+	// (choir.ErrDeadline), so enforcement granularity is one pipeline stage.
+	DecodeTimeout time.Duration
+	// MaxAttempts caps decode attempts per frame across the recovery
+	// ladder (default 3: one per rung). Breaker-skipped rungs don't count.
+	MaxAttempts int
+	// BackoffBase is the first retry's base delay; retry k waits
+	// BackoffBase << (k-2) with ±50% seeded jitter, capped at 1s
+	// (default 2ms; 0 disables backoff sleeps).
+	BackoffBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// stage's circuit breaker (default 8; negative disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how many skipped attempts a tripped breaker waits
+	// before letting a half-open probe through (default 16).
+	BreakerCooldown int
+	// Seed drives decoder reseeding and backoff jitter. Decode outcomes
+	// depend only on (Seed, frame ID, stage) — never on timing or worker
+	// count.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase < 0 {
+		c.BackoffBase = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 16
+	}
+	return c
+}
+
+// Frame is one IQ capture accepted into the gateway.
+type Frame struct {
+	// ID is the gateway-assigned monotonic frame identity.
+	ID uint64
+	// Source labels where the capture came from (file path, peer address).
+	Source string
+	// Header is the capture's trace metadata (PHY, payload length, ground
+	// truth when present).
+	Header trace.Header
+	// Samples is the IQ capture itself.
+	Samples []complex128
+
+	enqueued time.Time
+}
+
+// OutcomeKind classifies a frame's terminal outcome.
+type OutcomeKind int
+
+const (
+	// OutcomeDecoded: at least one payload was recovered.
+	OutcomeDecoded OutcomeKind = iota
+	// OutcomeFailed: every ladder attempt failed; Err carries the typed
+	// error chain.
+	OutcomeFailed
+	// OutcomeShed: the frame was accepted but evicted (drop-oldest) or
+	// flushed during shutdown without being decoded.
+	OutcomeShed
+)
+
+// String implements fmt.Stringer.
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutcomeDecoded:
+		return "decoded"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("OutcomeKind(%d)", int(k))
+	}
+}
+
+// Outcome is the single terminal result of one accepted frame.
+type Outcome struct {
+	FrameID uint64
+	Source  string
+	Kind    OutcomeKind
+	// Stage is the ladder rung that produced a decode (valid when Kind is
+	// OutcomeDecoded).
+	Stage Stage
+	// Attempts is how many decode attempts ran (0 for shed frames).
+	Attempts int
+	// Users is the number of transmitters the successful decode separated.
+	Users int
+	// Payloads holds the recovered payloads of a decoded frame.
+	Payloads [][]byte
+	// Err is the typed failure (OutcomeFailed) or shed reason (OutcomeShed);
+	// classify with errors.Is against the gateway and decoder taxonomies.
+	Err error
+}
+
+// Stats is a snapshot of the gateway's own terminal-outcome accounting.
+// Unlike the obs metrics, these counters are always on: the accepted ==
+// decoded + failed + shed invariant must be checkable even when metric
+// recording is disabled.
+type Stats struct {
+	Accepted, Decoded, Failed, Shed int64
+	// Recovered counts decodes that needed a rung below full SIC.
+	Recovered int64
+}
+
+// Gateway is the resilient decode service. Create with New, feed with
+// Submit (or the ingest helpers), consume Outcomes until the channel
+// closes, stop with Drain.
+type Gateway struct {
+	cfg      Config
+	queue    chan *Frame
+	space    chan struct{} // pulsed after each dequeue; wakes ShedBlock waiters
+	outcomes chan Outcome
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex // guards accepting and drop-oldest eviction
+	accepting bool
+
+	pending atomic.Int64  // accepted frames without a terminal outcome yet
+	idle    chan struct{} // pulsed when pending drains to zero
+	nextID  atomic.Uint64
+
+	poolMu sync.Mutex
+	pools  map[poolKey]*exec.DecoderPool
+
+	breakers [numStages]*breaker
+
+	accepted, decoded, failed, shed, recovered atomic.Int64
+
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// poolKey identifies a decoder pool: one per (PHY, ladder rung) pair seen
+// in the traffic.
+type poolKey struct {
+	params lora.Params
+	stage  Stage
+}
+
+// New validates cfg, starts the worker pool, and returns a running
+// gateway.
+func New(cfg Config) (*Gateway, error) {
+	g, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.start()
+	return g, nil
+}
+
+// build assembles a gateway without starting its workers. Tests use it
+// directly to exercise queue and shedding behavior with no decode racing.
+func build(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if _, err := ParseShedPolicy(cfg.Policy.String()); err != nil {
+		return nil, fmt.Errorf("gateway: invalid shed policy %d", int(cfg.Policy))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		cfg:       cfg,
+		queue:     make(chan *Frame, cfg.Queue),
+		space:     make(chan struct{}, 1),
+		outcomes:  make(chan Outcome, cfg.Queue+cfg.Workers+16),
+		ctx:       ctx,
+		cancel:    cancel,
+		accepting: true,
+		idle:      make(chan struct{}, 1),
+		pools:     map[poolKey]*exec.DecoderPool{},
+	}
+	for s := range g.breakers {
+		g.breakers[s] = &breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
+	}
+	return g, nil
+}
+
+// start launches the decode workers.
+func (g *Gateway) start() {
+	g.wg.Add(g.cfg.Workers)
+	for w := 0; w < g.cfg.Workers; w++ {
+		go g.worker()
+	}
+}
+
+// Outcomes returns the terminal-outcome stream. The channel closes after
+// Drain completes; consumers must keep reading until then or the workers
+// stall once the channel's buffer fills.
+func (g *Gateway) Outcomes() <-chan Outcome { return g.outcomes }
+
+// Stats snapshots the gateway's terminal-outcome accounting.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Accepted:  g.accepted.Load(),
+		Decoded:   g.decoded.Load(),
+		Failed:    g.failed.Load(),
+		Shed:      g.shed.Load(),
+		Recovered: g.recovered.Load(),
+	}
+}
+
+// Submit offers one capture to the gateway. On acceptance it returns the
+// assigned frame ID; the frame's terminal outcome arrives on Outcomes. A
+// rejected frame (ErrQueueFull under ShedReject, ErrStopped after Drain
+// began, or ctx firing while blocked under ShedBlock) was never accepted
+// and produces no outcome. ctx bounds only the submission itself.
+func (g *Gateway) Submit(ctx context.Context, source string, h trace.Header, samples []complex128) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f := &Frame{Source: source, Header: h, Samples: samples}
+	for {
+		g.mu.Lock()
+		if !g.accepting {
+			g.mu.Unlock()
+			return 0, ErrStopped
+		}
+		// Assign the ID at acceptance time so IDs are dense in acceptance
+		// order even under racing submitters.
+		if f.ID == 0 {
+			f.ID = g.nextID.Add(1)
+		}
+		f.enqueued = time.Now()
+		select {
+		case g.queue <- f:
+			g.pending.Add(1)
+			g.accepted.Add(1)
+			mAccepted.Inc()
+			g.mu.Unlock()
+			return f.ID, nil
+		default:
+		}
+		// Queue full: shed.
+		switch g.cfg.Policy {
+		case ShedReject:
+			g.mu.Unlock()
+			mShedRejected.Inc()
+			return 0, fmt.Errorf("%w: %d frames queued", ErrQueueFull, cap(g.queue))
+		case ShedDropOldest:
+			// Evict under the lock so two submitters can't each evict for
+			// the same single slot and lose a frame without an outcome.
+			select {
+			case old := <-g.queue:
+				mShedDropped.Inc()
+				g.emit(Outcome{
+					FrameID: old.ID, Source: old.Source, Kind: OutcomeShed,
+					Err: fmt.Errorf("%w: evicted by newer frame %d (drop-oldest)", ErrShed, f.ID),
+				})
+			default:
+				// A worker beat us to the oldest frame; the queue has space
+				// now, retry the send.
+			}
+			g.mu.Unlock()
+			continue
+		default: // ShedBlock
+			g.mu.Unlock()
+			select {
+			case <-g.space:
+				continue
+			case <-ctx.Done():
+				mShedRejected.Inc()
+				return 0, fmt.Errorf("%w: canceled while blocked: %w", ErrQueueFull, ctx.Err())
+			case <-g.ctx.Done():
+				return 0, ErrStopped
+			}
+		}
+	}
+}
+
+// worker is one decode goroutine: dequeue, run the recovery ladder, emit
+// the terminal outcome. On shutdown it first helps flush still-queued
+// frames as shed outcomes so the exactly-one-outcome invariant holds
+// through a hard stop.
+func (g *Gateway) worker() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.ctx.Done():
+			g.flushQueue()
+			return
+		case f := <-g.queue:
+			g.signalSpace()
+			tQueueWait.Hist().Observe(time.Since(f.enqueued).Nanoseconds())
+			g.emit(g.decodeLadder(f))
+		}
+	}
+}
+
+// signalSpace wakes at most one ShedBlock waiter after a dequeue.
+func (g *Gateway) signalSpace() {
+	select {
+	case g.space <- struct{}{}:
+	default:
+	}
+}
+
+// flushQueue drains still-queued frames as shed outcomes (shutdown path).
+// Multiple workers may flush concurrently; each dequeued frame is owned by
+// exactly one of them.
+func (g *Gateway) flushQueue() {
+	for {
+		select {
+		case f := <-g.queue:
+			mShedDrained.Inc()
+			g.emit(Outcome{
+				FrameID: f.ID, Source: f.Source, Kind: OutcomeShed,
+				Err: fmt.Errorf("%w: gateway stopped before decode", ErrShed),
+			})
+		default:
+			return
+		}
+	}
+}
+
+// emit records and publishes one terminal outcome.
+func (g *Gateway) emit(o Outcome) {
+	switch o.Kind {
+	case OutcomeDecoded:
+		g.decoded.Add(1)
+		mDecoded.Inc()
+		if o.Stage > StageFull {
+			g.recovered.Add(1)
+		}
+	case OutcomeFailed:
+		g.failed.Add(1)
+		mFailed.Inc()
+	case OutcomeShed:
+		g.shed.Add(1)
+	}
+	g.outcomes <- o
+	if g.pending.Add(-1) == 0 {
+		select {
+		case g.idle <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Drain stops the gateway: no new frames are accepted, queued and
+// in-flight frames are processed to completion, then the workers exit and
+// the Outcomes channel closes. If ctx fires before the queue empties, the
+// drain hardens into a stop — in-flight decodes are canceled cooperatively
+// (their outcomes report choir.ErrCanceled) and still-queued frames are
+// flushed as shed outcomes. Either way every accepted frame has exactly
+// one terminal outcome by the time Drain returns. Drain is idempotent;
+// concurrent calls share the first call's result.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.drainOnce.Do(func() {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		g.mu.Lock()
+		g.accepting = false
+		g.mu.Unlock()
+		// Wake any ShedBlock waiters parked before accepting flipped: the
+		// pulse makes them re-check and observe ErrStopped.
+		g.signalSpace()
+
+		graceful := true
+		for g.pending.Load() > 0 {
+			select {
+			case <-g.idle:
+				// Re-check pending; spurious pulses are fine.
+			case <-ctx.Done():
+				graceful = false
+				g.drainErr = fmt.Errorf("gateway: drain cut short: %w", ctx.Err())
+			}
+			if !graceful {
+				break
+			}
+		}
+		// Stop the workers. In the graceful case the queue is already
+		// empty; in the hard case cancellation both unblocks in-flight
+		// decodes (DecodeCtx) and routes workers into flushQueue.
+		g.cancel()
+		g.wg.Wait()
+		// Workers are gone; anything still queued (frames that raced in
+		// between the last flush check and worker exit) is flushed here.
+		g.flushQueue()
+		close(g.outcomes)
+	})
+	return g.drainErr
+}
+
+// poolFor returns the decoder pool for one (PHY, stage) pair, building it
+// on first use.
+func (g *Gateway) poolFor(p lora.Params, stage Stage) (*exec.DecoderPool, error) {
+	key := poolKey{params: p, stage: stage}
+	g.poolMu.Lock()
+	defer g.poolMu.Unlock()
+	if pool, ok := g.pools[key]; ok {
+		return pool, nil
+	}
+	pool, err := exec.NewDecoderPool(stageConfig(stage, p))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: building %s-stage decoder for %v: %w", stage, p.SF, err)
+	}
+	g.pools[key] = pool
+	return pool, nil
+}
+
+// breakerTripped reports whether the given stage's circuit breaker is
+// currently open — for tests and the daemon's status logging.
+func (g *Gateway) breakerTripped(stage Stage) bool { return g.breakers[stage].isTripped() }

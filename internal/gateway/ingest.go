@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"choir/internal/trace"
+)
+
+// IngestFiles submits every trace named by paths to the gateway. A
+// directory path is expanded (non-recursively) to its *.iq files in sorted
+// order. Unreadable traces are skipped with their errors collected; a
+// rejected Submit under ShedReject likewise becomes a collected error
+// rather than aborting the walk. The walk stops early when ctx fires or
+// the gateway stops accepting. It returns how many frames were accepted.
+func IngestFiles(ctx context.Context, g *Gateway, paths []string) (int, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var errs []error
+	accepted := 0
+	for _, path := range expandDirs(paths, &errs) {
+		if ctx.Err() != nil {
+			errs = append(errs, fmt.Errorf("gateway: ingest canceled: %w", ctx.Err()))
+			break
+		}
+		h, samples, err := readTrace(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		if _, err := g.Submit(ctx, path, h, samples); err != nil {
+			if errors.Is(err, ErrStopped) {
+				errs = append(errs, fmt.Errorf("%s: %w", path, err))
+				break
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		accepted++
+	}
+	return accepted, errs
+}
+
+// expandDirs replaces directory entries in paths with their *.iq contents.
+func expandDirs(paths []string, errs *[]error) []string {
+	var out []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			*errs = append(*errs, err)
+			continue
+		}
+		if !info.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			*errs = append(*errs, err)
+			continue
+		}
+		var found []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".iq") {
+				found = append(found, filepath.Join(p, e.Name()))
+			}
+		}
+		sort.Strings(found)
+		if len(found) == 0 {
+			*errs = append(*errs, fmt.Errorf("%s: %w: no *.iq files", p, fs.ErrNotExist))
+		}
+		out = append(out, found...)
+	}
+	return out
+}
+
+// readTrace loads one trace file.
+func readTrace(path string) (trace.Header, []complex128, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Header{}, nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// ServeTCP accepts connections on ln until ctx fires, reading one trace
+// per connection and submitting it to the gateway. The trace format is
+// EOF-delimited, so the sender must half-close its write side after the
+// last sample. The peer then gets a one-line status reply
+// ("accepted <id>\n" or "error: <reason>\n") before the connection closes,
+// so backpressure under ShedBlock is visible to the sender as a delayed
+// reply. Returns nil on ctx-triggered shutdown.
+func ServeTCP(ctx context.Context, g *Gateway, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Closing the listener is the only portable way to unblock Accept.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("gateway: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			h, samples, err := trace.Read(conn)
+			if err != nil {
+				fmt.Fprintf(conn, "error: %v\n", err)
+				return
+			}
+			id, err := g.Submit(ctx, conn.RemoteAddr().String(), h, samples)
+			if err != nil {
+				fmt.Fprintf(conn, "error: %v\n", err)
+				return
+			}
+			fmt.Fprintf(conn, "accepted %d\n", id)
+		}()
+	}
+}

@@ -1,0 +1,293 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"choir/internal/choir"
+	"choir/internal/exec"
+	"choir/internal/lora"
+)
+
+// Stage is one rung of the decode-recovery ladder. Rungs are ordered from
+// the highest-fidelity decode to the cheapest fallback; the ladder walks
+// them in order until a payload is recovered or every rung has been tried.
+type Stage int
+
+const (
+	// StageFull is the paper's full Choir pipeline: phased SIC, fine
+	// offset refinement, the default peak and matching tunables.
+	StageFull Stage = iota
+	// StageRelaxed retries with loosened tunables — lower peak threshold,
+	// wider fingerprint-matching tolerance, wider per-phase dynamic range —
+	// recovering frames whose offsets drifted or whose peaks sank below the
+	// default gates (clipping, interferers, oscillator steps).
+	StageRelaxed
+	// StageStrongest is the cheap last resort: track only the single
+	// strongest user with SIC disabled. It abandons the collision's weak
+	// users to salvage at least one payload per capture.
+	StageStrongest
+
+	numStages = int(StageStrongest) + 1
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageFull:
+		return "full"
+	case StageRelaxed:
+		return "relaxed"
+	case StageStrongest:
+		return "strongest"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// stageConfig returns the decoder configuration for one ladder rung at one
+// PHY. FineSearch stays on in every rung: coarse offset estimates corrupt
+// the fingerprint matching that separates users, which would turn the
+// fallback into a wrong-payload generator rather than a cheaper decoder.
+func stageConfig(stage Stage, p lora.Params) choir.Config {
+	cfg := choir.DefaultConfig(p)
+	switch stage {
+	case StageRelaxed:
+		cfg.PeakThreshold = 3.5
+		cfg.MatchTolerance = 0.12
+		cfg.DynamicRangeDB = 14
+		cfg.TotalDynamicRangeDB = 40
+	case StageStrongest:
+		cfg.MaxUsers = 1
+		cfg.SICPhases = 0
+		cfg.PeakThreshold = 4
+		cfg.FineIters = 8
+	}
+	return cfg
+}
+
+// breaker is a per-stage circuit breaker. Sustained consecutive failures
+// trip it open; while open, attempts at that stage are skipped (the ladder
+// falls through to the cheaper rung immediately). After cooldown skipped
+// attempts it half-opens and lets a single probe through: a successful
+// probe closes it, a failed one re-opens it for another cooldown.
+//
+// All methods are safe for concurrent use by the worker goroutines.
+type breaker struct {
+	threshold int // consecutive failures to trip; <= 0 disables the breaker
+	cooldown  int // skips before half-opening
+
+	mu         sync.Mutex
+	consecFail int
+	tripped    bool
+	skipped    int
+	probing    bool // half-open: one probe is in flight
+}
+
+// allow reports whether an attempt at this stage may proceed. When it
+// returns false the caller must not call record for this attempt.
+func (b *breaker) allow() (ok, wasSkip bool) {
+	if b.threshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return true, false
+	}
+	if b.probing {
+		// Another worker's probe is in flight; stay shed until it reports.
+		b.skipped++
+		return false, true
+	}
+	b.skipped++
+	if b.skipped >= b.cooldown {
+		b.probing = true
+		return true, false
+	}
+	return false, true
+}
+
+// record reports an attempt's outcome to the breaker.
+func (b *breaker) record(success bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.consecFail = 0
+		b.tripped = false
+		b.skipped = 0
+		b.probing = false
+		return
+	}
+	if b.probing {
+		// Failed probe: back to open for another cooldown.
+		b.probing = false
+		b.skipped = 0
+		return
+	}
+	b.consecFail++
+	if !b.tripped && b.consecFail >= b.threshold {
+		b.tripped = true
+		b.skipped = 0
+	}
+}
+
+// isTripped reports whether the breaker is currently open (for tests and
+// stats; the decode path uses allow).
+func (b *breaker) isTripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+// decodeLadder runs one frame through the recovery ladder and returns its
+// terminal outcome. Attempt k (1-based) uses stage min(k-1, strongest), so
+// with MaxAttempts = 3 every rung is tried once and with larger budgets the
+// extra attempts repeat the cheap fallback. Between attempts it sleeps a
+// seeded exponential backoff with jitter, cancelable by the gateway
+// context. Breaker-skipped stages do not consume attempts.
+func (g *Gateway) decodeLadder(f *Frame) Outcome {
+	o := Outcome{FrameID: f.ID, Source: f.Source}
+	// Backoff jitter is seeded per frame so a replay of the same capture
+	// sequence schedules identically; it never influences decode results.
+	rng := rand.New(rand.NewPCG(g.cfg.Seed^f.ID, 0xBAC0FF))
+
+	var lastErr error
+	attempt := 0
+	for rung := 0; attempt < g.cfg.MaxAttempts; rung++ {
+		stage := Stage(min(rung, int(StageStrongest)))
+		allowed, wasSkip := g.breakers[stage].allow()
+		if !allowed {
+			if wasSkip {
+				mBreakerSkips[stage].Inc()
+			}
+			if stage == StageStrongest {
+				// Nothing cheaper to fall through to.
+				break
+			}
+			continue
+		}
+		attempt++
+		if attempt > 1 {
+			mRetries.Inc()
+			if !g.backoff(rng, attempt) {
+				// Gateway shutting down mid-backoff.
+				lastErr = fmt.Errorf("%w: %w", choir.ErrCanceled, g.ctx.Err())
+				break
+			}
+		}
+		mStageAttempts[stage].Inc()
+		payloads, users, err := g.attempt(f, stage)
+		if err == nil {
+			g.breakers[stage].record(true)
+			mStageSuccess[stage].Inc()
+			o.Kind = OutcomeDecoded
+			o.Stage = stage
+			o.Attempts = attempt
+			o.Users = users
+			o.Payloads = payloads
+			if stage > StageFull {
+				mRecovered.Inc()
+			}
+			return o
+		}
+		lastErr = err
+		if g.ctx.Err() != nil {
+			// The gateway is stopping: the failure says nothing about the
+			// stage's health, so don't poison its breaker, and don't keep
+			// retrying a decode that will only ever see a dead context.
+			break
+		}
+		tripped := g.breakers[stage].isTripped()
+		g.breakers[stage].record(false)
+		if !tripped && g.breakers[stage].isTripped() {
+			mBreakerTrips[stage].Inc()
+		}
+		if stage == StageStrongest && attempt >= g.cfg.MaxAttempts {
+			break
+		}
+	}
+	o.Kind = OutcomeFailed
+	o.Attempts = attempt
+	if lastErr == nil {
+		// Every rung was breaker-skipped before a single attempt ran.
+		lastErr = errors.New("all stages circuit-broken")
+	}
+	o.Err = fmt.Errorf("%w: %w", ErrLadderExhausted, lastErr)
+	return o
+}
+
+// backoff sleeps the exponential-with-jitter delay before attempt k (k >=
+// 2), returning false if the gateway context fired first.
+func (g *Gateway) backoff(rng *rand.Rand, attempt int) bool {
+	base := g.cfg.BackoffBase
+	if base <= 0 {
+		return g.ctx.Err() == nil
+	}
+	d := base << (attempt - 2)
+	const maxBackoff = time.Second
+	if d > maxBackoff || d <= 0 { // <= 0: shift overflow
+		d = maxBackoff
+	}
+	// Jitter in [d/2, 3d/2): decorrelates retry storms across frames.
+	d = d/2 + time.Duration(rng.Int64N(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-g.ctx.Done():
+		return false
+	}
+}
+
+// attempt runs one decode at one ladder stage. A panic anywhere inside the
+// decoder is recovered into ErrDecodePanic, isolating poisoned frames to a
+// typed per-frame error. Each attempt gets its own deadline (DecodeTimeout)
+// derived from the gateway context, enforced cooperatively by DecodeCtx.
+func (g *Gateway) attempt(f *Frame, stage Stage) (payloads [][]byte, users int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mPanics.Inc()
+			payloads, users = nil, 0
+			err = fmt.Errorf("%w: stage %s: %v", ErrDecodePanic, stage, r)
+		}
+	}()
+	ctx := g.ctx
+	if g.cfg.DecodeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.DecodeTimeout)
+		defer cancel()
+	}
+	pool, err := g.poolFor(f.Header.Params, stage)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The decoder seed depends only on (gateway seed, frame ID, stage):
+	// replaying a capture stream through any worker count reproduces every
+	// outcome bit for bit.
+	dec := pool.Get(exec.DeriveSeed(g.cfg.Seed, f.ID, uint64(stage)))
+	defer pool.Put(dec)
+	sp := tDecode.Start()
+	res, err := dec.DecodeCtx(ctx, f.Samples, f.Header.PayloadLen)
+	sp.Stop()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, u := range res.Users {
+		if u.Decoded() {
+			payloads = append(payloads, u.Payload)
+		}
+	}
+	if len(payloads) == 0 {
+		return nil, len(res.Users), ErrNoPayloads
+	}
+	return payloads, len(res.Users), nil
+}

@@ -1,0 +1,55 @@
+package gateway
+
+import "choir/internal/obs"
+
+// Gateway metrics. Counters follow the repository's observe-only contract
+// (DESIGN.md §10): the gateway's behavior — shedding, ladder walking,
+// breaker state — is driven by its own internal state, never by reading a
+// metric back. The separate Stats() accessor exists because shedding
+// decisions must be visible even when obs recording is disabled.
+var (
+	mAccepted = obs.NewCounter("gateway.accepted")
+	mDecoded  = obs.NewCounter("gateway.decoded")
+	mFailed   = obs.NewCounter("gateway.failed")
+	// mRecovered counts frames the full SIC stage lost but a later ladder
+	// stage (relaxed tunables or single-strongest-user) recovered.
+	mRecovered = obs.NewCounter("gateway.recovered")
+
+	// Shedding, by reason: evicted by drop-oldest, rejected at submit, or
+	// flushed from the queue during shutdown.
+	mShedDropped  = obs.NewCounter("gateway.shed.dropped_oldest")
+	mShedRejected = obs.NewCounter("gateway.shed.rejected")
+	mShedDrained  = obs.NewCounter("gateway.shed.drained")
+
+	// Resilience machinery.
+	mPanics  = obs.NewCounter("gateway.decode_panics")
+	mRetries = obs.NewCounter("gateway.retries")
+
+	// Per-stage ladder visibility: attempts, successes, breaker trips and
+	// breaker-skipped attempts, indexed by Stage.
+	mStageAttempts = [numStages]*obs.Counter{
+		obs.NewCounter("gateway.stage.full.attempts"),
+		obs.NewCounter("gateway.stage.relaxed.attempts"),
+		obs.NewCounter("gateway.stage.strongest.attempts"),
+	}
+	mStageSuccess = [numStages]*obs.Counter{
+		obs.NewCounter("gateway.stage.full.success"),
+		obs.NewCounter("gateway.stage.relaxed.success"),
+		obs.NewCounter("gateway.stage.strongest.success"),
+	}
+	mBreakerTrips = [numStages]*obs.Counter{
+		obs.NewCounter("gateway.breaker.full.trips"),
+		obs.NewCounter("gateway.breaker.relaxed.trips"),
+		obs.NewCounter("gateway.breaker.strongest.trips"),
+	}
+	mBreakerSkips = [numStages]*obs.Counter{
+		obs.NewCounter("gateway.breaker.full.skips"),
+		obs.NewCounter("gateway.breaker.relaxed.skips"),
+		obs.NewCounter("gateway.breaker.strongest.skips"),
+	}
+
+	// Latency surfaces: time a frame waited in the queue, and time one
+	// decode attempt took.
+	tQueueWait = obs.NewTimer("gateway.queue_wait_ns")
+	tDecode    = obs.NewTimer("gateway.decode_attempt_ns")
+)

@@ -1,0 +1,64 @@
+package mac
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRunCtxBackgroundMatchesRun pins that the context plumbing is free
+// when unused: RunCtx under a background context is identical to Run.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	cfg := baseConfig(SchemeChoir, 20)
+	rx := ModelReceiver{Success: []float64{1, 0.9, 0.7, 0.4}, MaxConcurrent: 4}
+	want, err := Run(cfg, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), cfg, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunCtx diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunCtxCanceledAbandonsSimulation pins the slot-boundary cancel: a
+// dead context yields the context's error and no partial metrics.
+func TestRunCtxCanceledAbandonsSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := RunCtx(ctx, baseConfig(SchemeAloha, 20), AlohaReceiver{})
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, %v; want nil, context.Canceled", m, err)
+	}
+}
+
+// TestRunManyCtxCanceledStopsFanOut pins batch cancellation: once the
+// context fires no new job starts and the error is the context's.
+func TestRunManyCtxCanceledStopsFanOut(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Config: baseConfig(SchemeAloha, 10), Receiver: AlohaReceiver{}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunManyCtx(ctx, jobs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunManyCtx err = %v, want context.Canceled", err)
+	}
+
+	// And with a live context the batch matches the serial runner.
+	want, err := RunManyCtx(context.Background(), jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunManyCtx(context.Background(), jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("RunManyCtx results depend on worker count")
+	}
+}

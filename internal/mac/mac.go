@@ -10,6 +10,7 @@
 package mac
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -239,8 +240,23 @@ type node struct {
 
 // Run simulates the cell and returns aggregate metrics.
 func Run(cfg Config, rx Receiver) (*Metrics, error) {
+	return RunCtx(context.Background(), cfg, rx)
+}
+
+// ctxCheckInterval is how many simulated slots RunCtx advances between
+// context polls — frequent enough that cancellation lands within
+// milliseconds, rare enough that the poll never shows up in profiles.
+const ctxCheckInterval = 256
+
+// RunCtx is Run bounded by a context: the slot loop polls ctx every
+// ctxCheckInterval slots and abandons the simulation (returning the
+// context's error, no partial metrics) once it fires.
+func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 64
@@ -254,6 +270,9 @@ func Run(cfg Config, rx Receiver) (*Metrics, error) {
 	prevTxCount := 0
 
 	for slot := 0; slot < cfg.Slots; slot++ {
+		if slot%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("mac: run canceled at slot %d/%d: %w", slot, cfg.Slots, ctx.Err())
+		}
 		// Arrivals.
 		for i := range nodes {
 			if cfg.ArrivalPerSlot >= 1 || rng.Float64() < cfg.ArrivalPerSlot {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -32,16 +33,19 @@ func publishExpvar() {
 // debugging surface: /debug/vars (expvar, including the "choir_metrics"
 // snapshot) and /debug/pprof/ (CPU, heap, goroutine, block profiles, and
 // execution traces). It returns the bound address (useful with ":0") after
-// the listener is live; the server itself runs on a background goroutine
-// for the life of the process.
+// the listener is live, plus a shutdown function that stops the server:
+// shutdown attempts a graceful drain bounded by its context and falls back
+// to closing the server outright when the context fires first. Shutdown is
+// idempotent and always leaves the listener closed and the serve goroutine
+// finished.
 //
 // The handlers are mounted on a private mux, so importing this package does
 // not register anything on http.DefaultServeMux.
-func ServeDebug(addr string) (string, error) {
+func ServeDebug(addr string) (string, func(context.Context) error, error) {
 	publishExpvar()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -55,12 +59,31 @@ func ServeDebug(addr string) (string, error) {
 		_ = WriteJSON(w)
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	served := make(chan struct{})
 	go func() {
-		// The server lives until process exit; Serve only returns on
-		// listener failure, which is not actionable here.
+		defer close(served)
+		// Serve returns http.ErrServerClosed after Shutdown/Close; any
+		// other error means the listener died, which shutdown tolerates.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	var once sync.Once
+	shutdown := func(ctx context.Context) error {
+		var err error
+		once.Do(func() {
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			if err = srv.Shutdown(ctx); err != nil {
+				// Graceful drain timed out or was canceled: drop the
+				// remaining connections so nothing leaks.
+				err = fmt.Errorf("obs: debug server drain: %w", err)
+				_ = srv.Close()
+			}
+			<-served
+		})
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // StartCLI wires the shared command-line observability surface: when
@@ -68,20 +91,28 @@ func ServeDebug(addr string) (string, error) {
 // when debugAddr is non-empty the expvar/pprof server starts there. The
 // returned dump function writes the final JSON snapshot — to the file named
 // by out, or to stderr when out is empty or "-" — and is intended to run at
-// process exit; it is a no-op when metrics is false.
-func StartCLI(metrics bool, out, debugAddr string) (dump func() error, err error) {
+// process exit; it is a no-op when metrics is false. The returned stop
+// function shuts the debug server down (bounded by a short internal grace
+// period); it is non-nil and idempotent even when no server was started.
+func StartCLI(metrics bool, out, debugAddr string) (dump func() error, stop func(), err error) {
 	if metrics || debugAddr != "" {
 		Enable()
 	}
+	stop = func() {}
 	if debugAddr != "" {
-		bound, err := ServeDebug(debugAddr)
+		bound, shutdown, err := ServeDebug(debugAddr)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/pprof/\n", bound)
+		stop = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(ctx)
+		}
 	}
 	if !metrics {
-		return func() error { return nil }, nil
+		return func() error { return nil }, stop, nil
 	}
 	return func() error {
 		var w io.Writer = os.Stderr
@@ -94,5 +125,5 @@ func StartCLI(metrics bool, out, debugAddr string) (dump func() error, err error
 			w = f
 		}
 		return WriteJSON(w)
-	}, nil
+	}, stop, nil
 }

@@ -1,23 +1,27 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServeDebugEndpoints(t *testing.T) {
 	withEnabled(t, func() {
 		NewCounter("debugtest.count").Add(3)
 	})
-	addr, err := ServeDebug("127.0.0.1:0")
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer shutdown(context.Background())
 
 	get := func(path string) []byte {
 		t.Helper()
@@ -51,13 +55,58 @@ func TestServeDebugEndpoints(t *testing.T) {
 	}
 }
 
-func TestStartCLIDumpsToFile(t *testing.T) {
-	defer Disable()
-	out := filepath.Join(t.TempDir(), "metrics.json")
-	dump, err := StartCLI(true, out, "")
+// TestServeDebugShutdown exercises the lifecycle fix with a real listener:
+// after shutdown returns, the port no longer accepts connections and a
+// second shutdown call is a harmless no-op.
+func TestServeDebugShutdown(t *testing.T) {
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET before shutdown: %v", err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("debug listener still accepting connections after shutdown")
+	}
+	if err := shutdown(ctx); err != nil {
+		t.Errorf("second shutdown call returned %v, want nil no-op", err)
+	}
+}
+
+func TestStartCLIStopsDebugServer(t *testing.T) {
+	defer Disable()
+	dump, stop, err := StartCLI(false, "", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Error("StartCLI with a debug address did not enable recording")
+	}
+	if err := dump(); err != nil {
+		t.Errorf("dump without metrics returned %v", err)
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestStartCLIDumpsToFile(t *testing.T) {
+	defer Disable()
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	dump, stop, err := StartCLI(true, out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
 	if !Enabled() {
 		t.Fatal("StartCLI(true, ...) did not enable recording")
 	}
@@ -80,10 +129,11 @@ func TestStartCLIDumpsToFile(t *testing.T) {
 
 func TestStartCLIDisabledIsNoOp(t *testing.T) {
 	Disable()
-	dump, err := StartCLI(false, "", "")
+	dump, stop, err := StartCLI(false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	stop()
 	if Enabled() {
 		t.Error("StartCLI(false, ...) enabled recording")
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -57,13 +58,24 @@ func DefaultCalibration() CalibrationConfig {
 // concurrent ones is recovered. Results are memoized per configuration
 // (ignoring Workers, which cannot affect them).
 func SuccessTable(cfg CalibrationConfig) []float64 {
+	table, _ := SuccessTableCtx(context.Background(), cfg)
+	return table
+}
+
+// SuccessTableCtx is SuccessTable bounded by a context. A canceled
+// calibration returns the context's error and stores nothing in the memo
+// cache — a partial table must never masquerade as the real one.
+func SuccessTableCtx(ctx context.Context, cfg CalibrationConfig) ([]float64, error) {
 	key := cfg.digest()
 	if v, ok := calibCache.Load(key); ok {
-		return v.([]float64)
+		return v.([]float64), nil
 	}
-	table := SuccessTableUncached(cfg)
+	table, err := SuccessTableUncachedCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
 	calibCache.Store(key, table)
-	return table
+	return table, nil
 }
 
 // SuccessTableUncached is SuccessTable without the memo cache, for
@@ -74,13 +86,21 @@ func SuccessTable(cfg CalibrationConfig) []float64 {
 // reduction runs in trial order, so the table is byte-identical for any
 // worker count.
 func SuccessTableUncached(cfg CalibrationConfig) []float64 {
+	table, _ := SuccessTableUncachedCtx(context.Background(), cfg)
+	return table
+}
+
+// SuccessTableUncachedCtx is SuccessTableUncached bounded by a context:
+// once ctx fires no further trials start and the context's error is
+// returned instead of a partial table.
+func SuccessTableUncachedCtx(ctx context.Context, cfg CalibrationConfig) ([]float64, error) {
 	table := make([]float64, cfg.MaxUsers)
 	if cfg.MaxUsers <= 0 || cfg.Trials <= 0 {
-		return table
+		return table, nil
 	}
 	dpool := exec.MustNewDecoderPool(choir.DefaultConfig(cfg.Params))
 	type cell struct{ recovered, total int }
-	cells := exec.Map(exec.NewPool(cfg.Workers), cfg.MaxUsers*cfg.Trials, func(i int) cell {
+	cells, err := exec.MapCtx(ctx, exec.NewPool(cfg.Workers), cfg.MaxUsers*cfg.Trials, func(i int) cell {
 		k := i/cfg.Trials + 1
 		trial := i % cfg.Trials
 		seed := exec.DeriveSeed(cfg.Seed, uint64(k), uint64(trial))
@@ -100,6 +120,9 @@ func SuccessTableUncached(cfg CalibrationConfig) []float64 {
 		r, n := sc.DecodeWith(dec)
 		return cell{recovered: r, total: n}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for k := 1; k <= cfg.MaxUsers; k++ {
 		recovered, total := 0, 0
 		for trial := 0; trial < cfg.Trials; trial++ {
@@ -111,7 +134,7 @@ func SuccessTableUncached(cfg CalibrationConfig) []float64 {
 			table[k-1] = float64(recovered) / float64(total)
 		}
 	}
-	return table
+	return table, nil
 }
 
 // calibCache memoizes SuccessTable results by CalibrationConfig digest.

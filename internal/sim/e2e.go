@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -75,6 +76,13 @@ func (r *E2EReport) String() string {
 
 // EndToEnd runs the deployment experiment.
 func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
+	return EndToEndCtx(context.Background(), cfg)
+}
+
+// EndToEndCtx is EndToEnd bounded by a context: cancellation stops the
+// IQ-level beacon rounds between fan-out tasks and returns the context's
+// error instead of a partial report.
+func EndToEndCtx(ctx context.Context, cfg E2EConfig) (*E2EReport, error) {
 	if cfg.Sensors < 1 || cfg.PayloadLen < 1 || cfg.ConcurrentIndividuals < 1 {
 		return nil, fmt.Errorf("sim: invalid e2e config %+v", cfg)
 	}
@@ -165,7 +173,7 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 		batches = append(batches, individuals[start:end])
 	}
 	type roundResult struct{ recovered, total int }
-	indResults := exec.Map(pool, len(batches), func(bi int) roundResult {
+	indResults, err := exec.MapCtx(ctx, pool, len(batches), func(bi int) roundResult {
 		batch := batches[bi]
 		snrs := make([]float64, len(batch))
 		for i, id := range batch {
@@ -178,6 +186,9 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 		recovered, total := sc.DecodeWith(dec)
 		return roundResult{recovered: recovered, total: total}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for bi, r := range indResults {
 		rep.BeaconSlots++
 		rep.IndividualDelivered += r.recovered
@@ -197,7 +208,7 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 
 	// Team rounds: identical payloads, below-noise joint decoding, fanned
 	// out the same way.
-	delivered := exec.Map(pool, len(teams), func(ti int) bool {
+	delivered, err := exec.MapCtx(ctx, pool, len(teams), func(ti int) bool {
 		e := teams[ti]
 		snrs := make([]float64, len(e.Team))
 		for i, id := range e.Team {
@@ -211,6 +222,9 @@ func EndToEnd(cfg E2EConfig) (*E2EReport, error) {
 		res, err := dec.DecodeTeam(sig, cfg.PayloadLen)
 		return err == nil && res.Err == nil && string(res.Payload) == string(payloads[0])
 	})
+	if err != nil {
+		return nil, err
+	}
 	for ti, ok := range delivered {
 		rep.BeaconSlots++
 		rep.TeamsExpected++

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"choir/internal/choir"
@@ -55,6 +56,13 @@ func DefaultFaultSweep() FaultSweepConfig {
 // for any worker count, and the zero-intensity points of every class decode
 // the literal unfaulted trials.
 func FaultSweep(cfg FaultSweepConfig) (*Figure, error) {
+	return FaultSweepCtx(context.Background(), cfg)
+}
+
+// FaultSweepCtx is FaultSweep bounded by a context: once ctx fires no new
+// trial starts and the context's error is returned instead of a partial
+// figure.
+func FaultSweepCtx(ctx context.Context, cfg FaultSweepConfig) (*Figure, error) {
 	if cfg.Params.SF == 0 {
 		cfg.Params = lora.DefaultParams()
 	}
@@ -89,7 +97,7 @@ func FaultSweep(cfg FaultSweepConfig) (*Figure, error) {
 	// Flatten (grid cell × trial) so narrow sweeps still saturate workers.
 	type cell struct{ recovered, total int }
 	nCells := len(injs)
-	results := exec.Map(pool, nCells*cfg.Trials, func(k int) cell {
+	results, err := exec.MapCtx(ctx, pool, nCells*cfg.Trials, func(k int) cell {
 		ci, trial := k/cfg.Trials, k%cfg.Trials
 		// The scenario seed depends ONLY on the trial index: every grid
 		// point corrupts the same collision set, and zero intensity
@@ -108,6 +116,9 @@ func FaultSweep(cfg FaultSweepConfig) (*Figure, error) {
 		rec, tot := sc.DecodeFaultedWith(dec, injs[ci], faultSeed)
 		return cell{recovered: rec, total: tot}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	fig := &Figure{
 		ID:     "fault",

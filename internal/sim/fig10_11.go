@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 
@@ -39,6 +40,14 @@ func RequiredTeamSize(d float64, maxTeam int) int {
 // both sensor kinds reuse each trial's random stream so the comparison
 // stays paired, and results are identical for any worker count.
 func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) *Figure {
+	fig, _ := Fig10ResolutionCtx(context.Background(), distances, trials, seed, workers)
+	return fig
+}
+
+// Fig10ResolutionCtx is Fig10Resolution bounded by a context: once ctx
+// fires no new trial starts and the context's error is returned instead of
+// a partial figure.
+func Fig10ResolutionCtx(ctx context.Context, distances []float64, trials int, seed uint64, workers int) (*Figure, error) {
 	fig := &Figure{
 		ID:     "Fig 10",
 		Title:  "sensor-data resolution vs distance",
@@ -50,7 +59,7 @@ func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) 
 	fields := []sensor.Field{sensor.HumidityField(), sensor.TemperatureField()}
 	// One task per (distance, trial); each returns the per-team errors of
 	// every kind, drawn from identical per-kind random streams.
-	perTrial := exec.Map(exec.NewPool(workers), len(distances)*trials, func(i int) [][]float64 {
+	perTrial, err := exec.MapCtx(ctx, exec.NewPool(workers), len(distances)*trials, func(i int) [][]float64 {
 		di := i / trials
 		trial := i % trials
 		team := RequiredTeamSize(distances[di], 30)
@@ -67,6 +76,9 @@ func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) 
 		}
 		return out
 	})
+	if err != nil {
+		return nil, err
+	}
 	for ki, kind := range kinds {
 		var s Series
 		s.Name = kind.String()
@@ -87,7 +99,7 @@ func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) 
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig11Grouping reproduces Fig. 11(a): the reconstruction error of team
@@ -96,6 +108,13 @@ func Fig10Resolution(distances []float64, trials int, seed uint64, workers int) 
 // goroutines (<= 0 uses every CPU) with the same paired-stream and
 // order-fixed reduction contract as Fig10Resolution.
 func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
+	fig, _ := Fig11GroupingCtx(context.Background(), teamSize, trials, seed, workers)
+	return fig
+}
+
+// Fig11GroupingCtx is Fig11Grouping bounded by a context, with the same
+// cancellation contract as Fig10ResolutionCtx.
+func Fig11GroupingCtx(ctx context.Context, teamSize, trials int, seed uint64, workers int) (*Figure, error) {
 	fig := &Figure{
 		ID:     "Fig 11(a)",
 		Title:  "sensor-data error by grouping strategy",
@@ -106,7 +125,7 @@ func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
 	kinds := []sensor.Kind{sensor.Humidity, sensor.Temperature}
 	fields := []sensor.Field{sensor.HumidityField(), sensor.TemperatureField()}
 	strategies := []sensor.GroupStrategy{sensor.GroupRandom, sensor.GroupByFloor, sensor.GroupByCenterDistance}
-	perTrial := exec.Map(exec.NewPool(workers), len(strategies)*trials, func(i int) [][]float64 {
+	perTrial, err := exec.MapCtx(ctx, exec.NewPool(workers), len(strategies)*trials, func(i int) [][]float64 {
 		si := i / trials
 		trial := i % trials
 		out := make([][]float64, len(kinds))
@@ -119,6 +138,9 @@ func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
 		}
 		return out
 	})
+	if err != nil {
+		return nil, err
+	}
 	for ki, kind := range kinds {
 		var s Series
 		s.Name = kind.String()
@@ -136,7 +158,7 @@ func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	return fig
+	return fig, nil
 }
 
 // Fig11Throughput reproduces Fig. 11(b): end-to-end network throughput for
@@ -146,6 +168,12 @@ func Fig11Grouping(teamSize, trials int, seed uint64, workers int) *Figure {
 // the near collisions and schedules beacon slots in which each far team's
 // shared MSB chunk is recovered.
 func Fig11Throughput(cfg Fig8Config, nearNodes, farTeams, teamSize int) (*Figure, error) {
+	return Fig11ThroughputCtx(context.Background(), cfg, nearNodes, farTeams, teamSize)
+}
+
+// Fig11ThroughputCtx is Fig11Throughput bounded by a context: cancellation
+// propagates into the calibration and the MAC cell simulations.
+func Fig11ThroughputCtx(ctx context.Context, cfg Fig8Config, nearNodes, farTeams, teamSize int) (*Figure, error) {
 	p := cfg.Calibration.Params
 	payloadLen := cfg.Calibration.PayloadLen
 	slotSeconds := p.AirTime(payloadLen) * 1.1
@@ -162,11 +190,15 @@ func Fig11Throughput(cfg Fig8Config, nearNodes, farTeams, teamSize int) (*Figure
 	for _, scheme := range schemes {
 		var rx mac.Receiver = mac.AlohaReceiver{}
 		if scheme == mac.SchemeChoir {
-			rx = mac.ModelReceiver{Success: cfg.choirTable(cfg.Calibration.Regime)}
+			table, err := cfg.choirTable(ctx, cfg.Calibration.Regime)
+			if err != nil {
+				return nil, err
+			}
+			rx = mac.ModelReceiver{Success: table}
 		}
 		jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, nearNodes, p, payloadLen), Receiver: rx})
 	}
-	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	metrics, err := mac.RunManyCtx(ctx, jobs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

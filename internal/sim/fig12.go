@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"choir/internal/mac"
 )
 
@@ -23,10 +25,19 @@ func DefaultFig12() Fig12Config {
 // (4) single-antenna Choir, and (5) Choir run on all three antennas with
 // per-user selection diversity.
 func Fig12MUMIMO(cfg Fig12Config) (*Figure, error) {
+	return Fig12MUMIMOCtx(context.Background(), cfg)
+}
+
+// Fig12MUMIMOCtx is Fig12MUMIMO bounded by a context: cancellation
+// propagates into the calibration and the MAC cell simulations.
+func Fig12MUMIMOCtx(ctx context.Context, cfg Fig12Config) (*Figure, error) {
 	f8 := cfg.Fig8
 	p := f8.Calibration.Params
 	payloadLen := f8.Calibration.PayloadLen
-	table := f8.choirTable(f8.Calibration.Regime)
+	table, err := f8.choirTable(ctx, f8.Calibration.Regime)
+	if err != nil {
+		return nil, err
+	}
 
 	// Choir+MU-MIMO: the decoder runs independently per antenna and a user
 	// is recovered if any antenna's run recovers it — selection diversity
@@ -66,7 +77,7 @@ func Fig12MUMIMO(cfg Fig12Config) (*Figure, error) {
 	for si, sys := range systems {
 		jobs[si] = mac.Job{Config: f8.macConfig(sys.scheme, cfg.Users, p, payloadLen), Receiver: sys.rx}
 	}
-	metrics, err := mac.RunMany(jobs, f8.Workers)
+	metrics, err := mac.RunManyCtx(ctx, jobs, f8.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,15 +118,20 @@ type Headline struct {
 
 // ComputeHeadline runs the sweeps and extracts the headline ratios.
 func ComputeHeadline(cfg Fig8Config) (*Headline, error) {
-	tput, err := Fig8Users(cfg, Throughput)
+	return ComputeHeadlineCtx(context.Background(), cfg)
+}
+
+// ComputeHeadlineCtx is ComputeHeadline bounded by a context.
+func ComputeHeadlineCtx(ctx context.Context, cfg Fig8Config) (*Headline, error) {
+	tput, err := Fig8UsersCtx(ctx, cfg, Throughput)
 	if err != nil {
 		return nil, err
 	}
-	lat, err := Fig8Users(cfg, Latency)
+	lat, err := Fig8UsersCtx(ctx, cfg, Latency)
 	if err != nil {
 		return nil, err
 	}
-	tx, err := Fig8Users(cfg, TxCount)
+	tx, err := Fig8UsersCtx(ctx, cfg, TxCount)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 
@@ -69,6 +70,14 @@ func fracPart(v float64) float64 {
 // reported instability. The (regime × pair) trials fan out across workers
 // goroutines (<= 0 uses every CPU); results are identical for any count.
 func Fig7Stability(pairsPerRegime int, seed uint64, workers int) *Figure {
+	fig, _ := Fig7StabilityCtx(context.Background(), pairsPerRegime, seed, workers)
+	return fig
+}
+
+// Fig7StabilityCtx is Fig7Stability bounded by a context: once ctx fires no
+// new pair starts and the context's error is returned instead of a partial
+// figure.
+func Fig7StabilityCtx(ctx context.Context, pairsPerRegime int, seed uint64, workers int) (*Figure, error) {
 	p := lora.DefaultParams()
 	binHz := p.Bandwidth / float64(p.N())
 	fig := &Figure{
@@ -81,7 +90,7 @@ func Fig7Stability(pairsPerRegime int, seed uint64, workers int) *Figure {
 	dpool := exec.MustNewDecoderPool(choir.DefaultConfig(p))
 	// One trial per (regime, pair); each returns the per-user RMS offset
 	// deviations of one decoded collision.
-	perTrial := exec.Map(exec.NewPool(workers), len(regimes)*pairsPerRegime, func(i int) []float64 {
+	perTrial, err := exec.MapCtx(ctx, exec.NewPool(workers), len(regimes)*pairsPerRegime, func(i int) []float64 {
 		ri := i / pairsPerRegime
 		trial := i % pairsPerRegime
 		s := exec.DeriveSeed(seed, uint64(ri), uint64(trial))
@@ -112,6 +121,9 @@ func Fig7Stability(pairsPerRegime int, seed uint64, workers int) *Figure {
 		}
 		return devs
 	})
+	if err != nil {
+		return nil, err
+	}
 	var freqS, timeS Series
 	freqS.Name = "stdev CFO+TO (Hz)"
 	timeS.Name = "stdev relative TO (us)"
@@ -129,5 +141,5 @@ func Fig7Stability(pairsPerRegime int, seed uint64, workers int) *Figure {
 		timeS.Y = append(timeS.Y, stdevBins/p.Bandwidth*1e6)
 	}
 	fig.Series = []Series{freqS, timeS}
-	return fig
+	return fig, nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"choir/internal/lora"
 	"choir/internal/mac"
 )
@@ -28,14 +30,14 @@ func DefaultFig8() Fig8Config {
 }
 
 // choirTable returns the Choir per-user success table for the experiment.
-func (c Fig8Config) choirTable(regime SNRRegime) []float64 {
+func (c Fig8Config) choirTable(ctx context.Context, regime SNRRegime) ([]float64, error) {
 	if c.Calibration.Trials <= 0 {
-		return AnalyticChoirTable(10, 0.95, 14)
+		return AnalyticChoirTable(10, 0.95, 14), nil
 	}
 	cal := c.Calibration
 	cal.Regime = regime
 	cal.Workers = c.Workers
-	return SuccessTable(cal)
+	return SuccessTableCtx(ctx, cal)
 }
 
 // macConfig assembles the cell simulation for a scheme.
@@ -98,6 +100,12 @@ func metricOf(m *mac.Metrics, which Metric) float64 {
 // adaptation picks the PHY per regime, so absolute throughput differs
 // across regimes as in the paper.
 func Fig8SNR(cfg Fig8Config, which Metric) (*Figure, error) {
+	return Fig8SNRCtx(context.Background(), cfg, which)
+}
+
+// Fig8SNRCtx is Fig8SNR bounded by a context: cancellation propagates into
+// both the IQ-level calibration and the MAC cell simulations.
+func Fig8SNRCtx(ctx context.Context, cfg Fig8Config, which Metric) (*Figure, error) {
 	fig := &Figure{
 		ID:     "Fig 8(a-c)",
 		Title:  "two users vs SNR regime: " + which.String(),
@@ -118,7 +126,10 @@ func Fig8SNR(cfg Fig8Config, which Metric) (*Figure, error) {
 		// Representative SNR for rate adaptation: middle of the regime.
 		p, _ := RateForSNR(regime.Mid())
 		payloadLen := cfg.Calibration.PayloadLen
-		table := cfg.choirTable(regime)
+		table, err := cfg.choirTable(ctx, regime)
+		if err != nil {
+			return nil, err
+		}
 		for _, scheme := range schemes {
 			var rx mac.Receiver = mac.AlohaReceiver{}
 			if scheme == mac.SchemeChoir {
@@ -127,7 +138,7 @@ func Fig8SNR(cfg Fig8Config, which Metric) (*Figure, error) {
 			jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, 2, p, payloadLen), Receiver: rx})
 		}
 	}
-	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	metrics, err := mac.RunManyCtx(ctx, jobs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +157,12 @@ func Fig8SNR(cfg Fig8Config, which Metric) (*Figure, error) {
 // users grow from 2 to 10, with an additional "Ideal" series for the
 // throughput panel (k packets per slot, as plotted in the paper).
 func Fig8Users(cfg Fig8Config, which Metric) (*Figure, error) {
+	return Fig8UsersCtx(context.Background(), cfg, which)
+}
+
+// Fig8UsersCtx is Fig8Users bounded by a context, with the same
+// cancellation contract as Fig8SNRCtx.
+func Fig8UsersCtx(ctx context.Context, cfg Fig8Config, which Metric) (*Figure, error) {
 	fig := &Figure{
 		ID:     "Fig 8(d-f)",
 		Title:  "scaling with concurrent users: " + which.String(),
@@ -154,7 +171,10 @@ func Fig8Users(cfg Fig8Config, which Metric) (*Figure, error) {
 	}
 	p := cfg.Calibration.Params
 	payloadLen := cfg.Calibration.PayloadLen
-	table := cfg.choirTable(cfg.Calibration.Regime)
+	table, err := cfg.choirTable(ctx, cfg.Calibration.Regime)
+	if err != nil {
+		return nil, err
+	}
 
 	schemes := []mac.Scheme{mac.SchemeAloha, mac.SchemeOracle, mac.SchemeChoir}
 	series := make([]Series, len(schemes))
@@ -176,7 +196,7 @@ func Fig8Users(cfg Fig8Config, which Metric) (*Figure, error) {
 			jobs = append(jobs, mac.Job{Config: cfg.macConfig(scheme, users, p, payloadLen), Receiver: rx})
 		}
 	}
-	metrics, err := mac.RunMany(jobs, cfg.Workers)
+	metrics, err := mac.RunManyCtx(ctx, jobs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
