@@ -1,0 +1,186 @@
+package main
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"choir"
+	ichoir "choir/internal/choir"
+	"choir/internal/dsp"
+	"choir/internal/lora"
+	"choir/internal/sim"
+)
+
+// benchmark is one named, seeded measurement in the suite.
+type benchmark struct {
+	Name      string
+	PinNs     bool // gate on ns/op regression
+	PinAllocs bool // gate on any allocs/op increase (zero-alloc kernels)
+	Fn        func(b *testing.B)
+}
+
+func (bm benchmark) run() Result {
+	r := testing.Benchmark(bm.Fn)
+	return Result{
+		Name:        bm.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		PinNs:       bm.PinNs,
+		PinAllocs:   bm.PinAllocs,
+	}
+}
+
+// suite returns the pinned benchmark set. Every benchmark uses fixed seeds
+// and fixed shapes so runs are comparable across commits; the decode
+// benchmarks mirror the `go test -bench` definitions in bench_test.go.
+func suite() []benchmark {
+	return []benchmark{
+		{Name: "BenchmarkFFTFullPadded", PinNs: true, PinAllocs: true, Fn: benchFFTFullPadded},
+		{Name: "BenchmarkFFTPruned", PinNs: true, PinAllocs: true, Fn: benchFFTPruned},
+		{Name: "BenchmarkSpectrumInto", PinNs: true, PinAllocs: true, Fn: benchSpectrumInto},
+		{Name: "BenchmarkNoiseFloor", PinNs: true, PinAllocs: true, Fn: benchNoiseFloor},
+		{Name: "BenchmarkDecodeSteadyState", PinNs: true, PinAllocs: true, Fn: benchDecodeSteadyState},
+		{Name: "BenchmarkDecodeTwoUserCollision", PinNs: true, Fn: benchDecodeTwoUser},
+		{Name: "BenchmarkDecodeEightUserCollision", PinNs: true, Fn: benchDecodeEightUser},
+		{Name: "BenchmarkHeadline", PinNs: true, Fn: benchHeadline},
+	}
+}
+
+// benchSignal synthesizes the fixed two-user near-far collision shared by
+// the decode benchmarks (same scenario as bench_test.go's
+// BenchmarkDecodeTwoUserCollision).
+func benchSignal(b *testing.B, snrs []float64, seed uint64) ([]complex128, lora.Params) {
+	b.Helper()
+	sc := sim.Scenario{Params: lora.DefaultParams(), PayloadLen: 8, SNRsDB: snrs, Seed: seed}
+	sig, _ := sc.Synthesize()
+	return sig, sc.Params
+}
+
+// dechirpedWindow builds a deterministic SF9-shaped dechirped window plus
+// noise for the FFT kernel benchmarks: pruned vs full transforms must be
+// compared on identical inputs.
+func dechirpedWindow(n int) []complex128 {
+	rng := rand.New(rand.NewPCG(42, 0xBE7C4))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func benchFFTFullPadded(b *testing.B) {
+	const n, padN = 512, 8192
+	x := dechirpedWindow(n)
+	f := dsp.NewFFT(padN)
+	padded := make([]complex128, padN)
+	dst := make([]complex128, padN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range padded {
+			padded[j] = 0
+		}
+		copy(padded, x)
+		f.Transform(dst, padded)
+	}
+}
+
+func benchFFTPruned(b *testing.B) {
+	const n, padN = 512, 8192
+	x := dechirpedWindow(n)
+	f := dsp.NewFFT(padN)
+	dst := make([]complex128, padN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TransformPruned(dst, x)
+	}
+}
+
+func benchSpectrumInto(b *testing.B) {
+	const n, padN = 512, 8192
+	x := dechirpedWindow(n)
+	f := dsp.NewFFT(padN)
+	dst := make([]float64, padN)
+	spec := make([]complex128, padN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SpectrumInto(dst, spec, x)
+	}
+}
+
+func benchNoiseFloor(b *testing.B) {
+	const padN = 8192
+	rng := rand.New(rand.NewPCG(7, 0xF100D))
+	mags := make([]float64, padN)
+	for i := range mags {
+		mags[i] = rng.Float64()
+	}
+	scratch := make([]float64, padN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.NoiseFloorScratch(mags, scratch)
+	}
+}
+
+func benchDecodeSteadyState(b *testing.B) {
+	sig, p := benchSignal(b, []float64{20, 15}, 9)
+	dec := ichoir.MustNew(ichoir.DefaultConfig(p))
+	res := &ichoir.Result{}
+	if _, err := dec.DecodeInto(res, sig, 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Reseed(ichoir.DefaultConfig(p).Seed)
+		if _, err := dec.DecodeInto(res, sig, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeTwoUser(b *testing.B) {
+	sig, p := benchSignal(b, []float64{20, 15}, 9)
+	dec := ichoir.MustNew(ichoir.DefaultConfig(p))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(sig, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeEightUser(b *testing.B) {
+	snrs := make([]float64, 8)
+	for i := range snrs {
+		snrs[i] = 15 + float64(i)
+	}
+	sig, p := benchSignal(b, snrs, 10)
+	dec := ichoir.MustNew(ichoir.DefaultConfig(p))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(sig, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHeadline(b *testing.B) {
+	cfg := choir.DefaultFig8()
+	cfg.Slots = 1500
+	cfg.Calibration.Trials = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := choir.ComputeHeadline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

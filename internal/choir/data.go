@@ -3,11 +3,10 @@ package choir
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"choir/internal/cluster"
 	"choir/internal/dsp"
-	"choir/internal/linalg"
 	"choir/internal/lora"
 )
 
@@ -22,28 +21,47 @@ type peakObs struct {
 
 // decodeData walks the data windows of a collision, extracts peaks,
 // attributes them to the preamble-estimated users, and decodes each user's
-// symbol stream into a payload.
-func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadLen int) []*User {
+// symbol stream into a payload. It recycles res's Users slice, User structs
+// and their per-user storage so steady-state decodes allocate nothing.
+func (d *Decoder) decodeData(res *Result, samples []complex128, ests []userEstimate, payloadLen int) []*User {
 	sp := mStageData.Start()
 	defer sp.Stop()
 	p := d.cfg.LoRa
 	nsym := lora.SymbolsPerPayload(payloadLen, p.SF, p.CR)
 	start := p.HeaderSymbols() * d.n
 
-	users := make([]*User, len(ests))
+	users := res.Users
+	if cap(users) < len(ests) {
+		grown := make([]*User, len(ests))
+		copy(grown, users)
+		users = grown
+	}
+	users = users[:len(ests)]
 	for i, e := range ests {
-		users[i] = &User{
-			Offset:        e.offset,
-			Gain:          e.gain,
-			Symbols:       make([]int, nsym),
-			WindowOffsets: append([]float64(nil), e.perWin...),
+		if users[i] == nil {
+			users[i] = &User{}
 		}
-		for s := range users[i].Symbols {
-			users[i].Symbols[s] = -1
+		u := users[i]
+		u.Offset = e.offset
+		u.Gain = e.gain
+		u.Symbols = intBuf(&u.Symbols, nsym)
+		for s := range u.Symbols {
+			u.Symbols[s] = -1
 		}
+		u.WindowOffsets = append(u.WindowOffsets[:0], e.perWin...)
 	}
 
-	allPeaks := make([][]peakObs, nsym)
+	// Per-window peak lists live on the arena (per-decode lifetime). The
+	// outer slice is cleared first: a decode that breaks out of the window
+	// loop early must not leave stale slices pointing into recycled arena
+	// storage.
+	if cap(d.allPeaksBuf) < nsym {
+		d.allPeaksBuf = make([][]peakObs, nsym)
+	}
+	allPeaks := d.allPeaksBuf[:nsym]
+	for w := range allPeaks {
+		allPeaks[w] = nil
+	}
 	for w := 0; w < nsym; w++ {
 		if d.canceled() {
 			return users
@@ -69,7 +87,10 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 	// between the preamble and data windows — under multipath both the
 	// offset and the peaks shift by the ray centroid, so the difference
 	// stays on the symbol grid.
-	missing := make([]int, len(users))
+	missing := intBuf(&d.missingBuf, len(users))
+	for i := range missing {
+		missing[i] = 0
+	}
 	for w := 0; w < nsym; w++ {
 		if d.canceled() {
 			return users
@@ -111,7 +132,7 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 				missing[ui]++
 			}
 		}
-		payload, _, err := lora.DecodeSymbols(u.Symbols, payloadLen, p)
+		payload, _, err := lora.DecodeSymbolsInto(&d.codec, u.Payload, u.Symbols, payloadLen, p)
 		u.Payload = payload
 		u.Err = err
 		// Losing most windows IS the failure; a CRC mismatch over invented
@@ -128,11 +149,12 @@ func (d *Decoder) decodeData(samples []complex128, ests []userEstimate, payloadL
 // filtering at (candidate + user offset) on the window with all other
 // attributed peaks removed.
 func (d *Decoder) mlSymbolPass(samples []complex128, off, w int, peaks []peakObs, users []*User) {
-	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+	dech := c128Buf(&d.dechCopy, d.n)
+	copy(dech, d.dechirpWindow(samples, off))
 	if len(peaks) == 0 {
 		return
 	}
-	offs := make([]float64, len(peaks))
+	offs := f64Buf(&d.offsBuf, len(peaks))
 	for i, pk := range peaks {
 		offs[i] = pk.bin
 	}
@@ -147,7 +169,7 @@ func (d *Decoder) mlSymbolPass(samples []complex128, off, w int, peaks []peakObs
 			subtractTone(resid, offs[i]/float64(d.n), joint[i])
 		}
 	}
-	ownTone := make([]complex128, d.n)
+	ownTone := c128Buf(&d.maskedBuf, d.n)
 	for ui, u := range users {
 		// Re-add this user's own assigned peak (if any) to the residual.
 		copy(ownTone, resid)
@@ -189,13 +211,13 @@ type segReg struct {
 	lo, hi int
 }
 
-// userSegs builds the (up to two) segment regressors describing user u's
-// contribution to data window w, given its estimated boundary b: the chirp
-// duality means the user's symbol edge sits at sample b of every window,
-// with the earlier symbol before it and the window's symbol after (b < N/2,
-// late transmitter), or the window's symbol before it and the next one
-// after (b >= N/2, early transmitter).
-func (d *Decoder) userSegs(u *User, w, b, nsym int, syncTail int) []segReg {
+// appendUserSegs appends the (up to two) segment regressors describing user
+// u's contribution to data window w, given its estimated boundary b: the
+// chirp duality means the user's symbol edge sits at sample b of every
+// window, with the earlier symbol before it and the window's symbol after
+// (b < N/2, late transmitter), or the window's symbol before it and the next
+// one after (b >= N/2, early transmitter).
+func (d *Decoder) appendUserSegs(dst []segReg, u *User, w, b, nsym int, syncTail int) []segReg {
 	period := float64(d.n)
 	symAt := func(idx int) int {
 		switch {
@@ -220,14 +242,13 @@ func (d *Decoder) userSegs(u *User, w, b, nsym int, syncTail int) []segReg {
 	} else {
 		head, tail = symAt(w), symAt(w+1)
 	}
-	var segs []segReg
 	if b > 0 && head >= 0 {
-		segs = append(segs, segReg{f: tone(head), lo: 0, hi: b})
+		dst = append(dst, segReg{f: tone(head), lo: 0, hi: b})
 	}
 	if b < d.n && tail >= 0 {
-		segs = append(segs, segReg{f: tone(tail), lo: b, hi: d.n})
+		dst = append(dst, segReg{f: tone(tail), lo: b, hi: d.n})
 	}
-	return segs
+	return dst
 }
 
 // mainSeg returns the sample range of the window that carries user u's
@@ -240,13 +261,14 @@ func (d *Decoder) mainSeg(b int) (lo, hi int) {
 }
 
 // fitSegments solves the least-squares channel fit over masked tone
-// regressors.
+// regressors. The returned slice aliases decoder-owned workspace storage,
+// valid until the next fitSegments / fitChannels call.
 func (d *Decoder) fitSegments(dech []complex128, regs []segReg) []complex128 {
 	k := len(regs)
 	if k == 0 {
 		return nil
 	}
-	e := linalg.NewMatrix(d.n, k)
+	e := d.lsWS.DesignMatrix(d.n, k)
 	for j, r := range regs {
 		cyc := r.f / float64(d.n)
 		for i := r.lo; i < r.hi; i++ {
@@ -254,9 +276,12 @@ func (d *Decoder) fitSegments(dech []complex128, regs []segReg) []complex128 {
 			e.Set(i, j, complex(c, s))
 		}
 	}
-	hs, err := linalg.LeastSquares(e, dech)
+	hs, err := d.lsWS.LeastSquaresInto(e, dech)
 	if err != nil {
-		hs = make([]complex128, k)
+		hs = c128Buf(&d.hsFallback, k)
+		for j := range hs {
+			hs[j] = 0
+		}
 		for j, r := range regs {
 			var sum complex128
 			for i := r.lo; i < r.hi; i++ {
@@ -288,15 +313,21 @@ func subtractSeg(x []complex128, r segReg, h complex128, n int) {
 func (d *Decoder) estimateBoundaries(samples []complex128, start, nsym int, users []*User) []int {
 	period := float64(d.n)
 	sync := d.cfg.LoRa.SyncSymbols()
-	bounds := make([]int, len(users))
+	bounds := intBuf(&d.boundsBuf, len(users))
+	for i := range bounds {
+		bounds[i] = 0
+	}
 	const maxProbe = 6
 	step := 2
-	work := make([]complex128, d.n)
+	work := c128Buf(&d.workBuf, d.n)
+	scores := f64Buf(&d.scoresBuf, d.n/step+1)
 	for ui, u := range users {
 		if d.canceled() {
 			return bounds
 		}
-		scores := make([]float64, d.n/step+1)
+		for i := range scores {
+			scores[i] = 0
+		}
 		probes := 0
 		for w := 1; w < nsym-1 && probes < maxProbe; w += 3 {
 			off := start + w*d.n
@@ -306,7 +337,7 @@ func (d *Decoder) estimateBoundaries(samples []complex128, start, nsym int, user
 			dech := d.dechirpWindow(samples, off)
 			copy(work, dech)
 			// Crude cleanup: subtract other users' window tones.
-			offs := make([]float64, 0, len(users)-1)
+			offs := f64Buf(&d.offsBuf, len(users))[:0]
 			for uj, v := range users {
 				if uj == ui {
 					continue
@@ -361,17 +392,17 @@ func (d *Decoder) accumulateBoundaryScan(work []complex128, offset float64, symP
 	tone := func(sym int) float64 {
 		return math.Mod(float64(sym)+offset+period, period) / period
 	}
-	pref := func(f float64) []complex128 {
-		p := make([]complex128, d.n+1)
+	prefInto := func(dst []complex128, f float64) []complex128 {
+		dst[0] = 0
 		for i := 0; i < d.n; i++ {
 			s, c := math.Sincos(-2 * math.Pi * f * float64(i))
-			p[i+1] = p[i] + work[i]*complex(c, s)
+			dst[i+1] = dst[i] + work[i]*complex(c, s)
 		}
-		return p
+		return dst
 	}
-	pPrev := pref(tone(symPrev))
-	pCur := pref(tone(symCur))
-	pNext := pref(tone(symNext))
+	pPrev := prefInto(c128Buf(&d.prefPrev, d.n+1), tone(symPrev))
+	pCur := prefInto(c128Buf(&d.prefCur, d.n+1), tone(symCur))
+	pNext := prefInto(c128Buf(&d.prefNext, d.n+1), tone(symNext))
 	energy := func(p []complex128, lo, hi int) float64 {
 		if hi <= lo {
 			return 0
@@ -401,7 +432,8 @@ func (d *Decoder) accumulateBoundaryScan(work []complex128, offset float64, symP
 // its main segment with everything else subtracted. It returns how many
 // symbol decisions changed.
 func (d *Decoder) icSymbolPass(samples []complex128, off, w int, users []*User, bounds []int) int {
-	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+	dech := c128Buf(&d.dechCopy, d.n)
+	copy(dech, d.dechirpWindow(samples, off))
 	nsym := 0
 	for _, u := range users {
 		if len(u.Symbols) > nsym {
@@ -411,22 +443,24 @@ func (d *Decoder) icSymbolPass(samples []complex128, off, w int, users []*User, 
 	sync := d.cfg.LoRa.SyncSymbols()
 
 	build := func() ([]segReg, []int) {
-		var regs []segReg
-		var owner []int
+		regs := d.regsBuf[:0]
+		owner := d.ownerBuf[:0]
 		for ui, u := range users {
-			for _, r := range d.userSegs(u, w, bounds[ui], nsym, sync[1]) {
-				regs = append(regs, r)
+			n0 := len(regs)
+			regs = d.appendUserSegs(regs, u, w, bounds[ui], nsym, sync[1])
+			for j := n0; j < len(regs); j++ {
 				owner = append(owner, ui)
 			}
 		}
+		d.regsBuf, d.ownerBuf = regs, owner
 		return regs, owner
 	}
 	regs, owner := build()
 	hs := d.fitSegments(dech, regs)
 
 	changed := 0
-	work := make([]complex128, d.n)
-	masked := make([]complex128, d.n)
+	work := c128Buf(&d.workBuf, d.n)
+	masked := c128Buf(&d.maskedBuf, d.n)
 	for ui, u := range users {
 		copy(work, dech)
 		for j, r := range regs {
@@ -467,22 +501,24 @@ func (d *Decoder) icSymbolPass(samples []complex128, off, w int, users []*User, 
 // fractional position matches its offset fingerprint (typically a weak user
 // under a strong one's side lobes), every peak found so far is modelled and
 // subtracted and the residual is searched again at a lower threshold
-// (Sec. 5.2 applied per window).
+// (Sec. 5.2 applied per window). The returned peak list is arena-backed:
+// valid until the end of the current decode.
 func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []userEstimate) []peakObs {
-	dech := append([]complex128(nil), d.dechirpWindow(samples, off)...)
+	dech := c128Buf(&d.dechCopy, d.n)
+	copy(dech, d.dechirpWindow(samples, off))
 
-	var out []peakObs
 	budget := len(ests) + 2
+	out := d.ar.pk.takeCap(2 * budget) // ≤ budget appends per round × 2 rounds
 	for round := 0; round < 2; round++ {
 		spec := d.paddedSpectrum(dech)
 		mags := d.magnitudes(spec)
 		pkSp := mStagePeaks.Start()
-		floor := dsp.NoiseFloor(mags)
+		floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
 		thresh := floor * d.cfg.PeakThreshold
 		if round > 0 {
 			thresh = floor * (1 + (d.cfg.PeakThreshold-1)/3)
 		}
-		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
+		peaks := dsp.FindPeaksScratch(&d.peakScratch, mags, dsp.PeakConfig{
 			Pad:           d.pad,
 			MinSeparation: 0.9,
 			Threshold:     thresh,
@@ -506,7 +542,7 @@ func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []us
 		// and look underneath.
 		sicSp := mStageSIC.Start()
 		for _, pk := range out {
-			h1, h2, i0 := segmentFit(dech, pk.bin/float64(d.n))
+			h1, h2, i0 := d.segmentFit(dech, pk.bin/float64(d.n))
 			d.subtractSegments(dech, pk.bin, h1, h2, i0)
 		}
 		sicSp.Stop()
@@ -533,22 +569,22 @@ func (d *Decoder) refinePeakPositions(samples []complex128, off int, out []peakO
 	// energy correctly even when peaks are close, and the per-peak
 	// two-segment models capture the constant-phase jump a fractional
 	// timing offset puts inside each window.
-	offs := make([]float64, len(out))
+	offs := f64Buf(&d.offsBuf, len(out))
 	for i, pk := range out {
 		offs[i] = pk.bin
 	}
 	joint := d.fitChannels(dech, offs)
-	type segModel struct {
-		h1, h2 complex128
-		i0     int
+	if cap(d.segModels) < len(out) {
+		d.segModels = make([]segModel, len(out))
 	}
-	models := make([]segModel, len(out))
-	residual := append([]complex128(nil), dech...)
+	models := d.segModels[:len(out)]
+	residual := c128Buf(&d.residBuf, len(dech))
+	copy(residual, dech)
 	for i := range out {
 		models[i] = segModel{h1: joint[i], h2: joint[i], i0: 0}
 		d.subtractSegments(residual, offs[i], joint[i], joint[i], 0)
 	}
-	origMag := make([]float64, len(out))
+	origMag := f64Buf(&d.origMagBuf, len(out))
 	for i, pk := range out {
 		origMag[i] = pk.mag
 	}
@@ -561,7 +597,7 @@ func (d *Decoder) refinePeakPositions(samples []complex128, off int, out []peakO
 			// and the peak's own timing-offset bias.
 			f, h1, h2, i0 := d.segmentFitRefined(residual, offs[i])
 			offs[i] = f
-			models[i] = segModel{h1, h2, i0}
+			models[i] = segModel{h1: h1, h2: h2, i0: i0}
 			d.subtractSegments(residual, f, h1, h2, i0)
 		}
 	}
@@ -603,23 +639,28 @@ func (d *Decoder) refinePeakPositions(samples []complex128, off int, out []peakO
 // satisfy two users at once — that is precisely the situation where a weak
 // user is still buried and within-window SIC is required.
 func (d *Decoder) usersMatched(peaks []peakObs, ests []userEstimate) int {
-	type cand struct {
-		pi, ui int
-		fd     float64
-	}
-	var cands []cand
+	cands := d.candBuf[:0]
 	for ui, e := range ests {
 		frac := e.offset - math.Floor(e.offset)
 		for pi, pk := range peaks {
 			pkFrac := pk.bin - math.Floor(pk.bin)
 			if fd := math.Abs(dsp.FracDiff(pkFrac, frac)); fd <= d.cfg.MatchTolerance {
-				cands = append(cands, cand{pi: pi, ui: ui, fd: fd})
+				cands = append(cands, matchCand{pi: pi, ui: ui, cost: fd})
 			}
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].fd < cands[j].fd })
-	usedPeak := make([]bool, len(peaks))
-	usedUser := make([]bool, len(ests))
+	d.candBuf = cands
+	slices.SortFunc(cands, func(a, b matchCand) int {
+		if a.cost < b.cost {
+			return -1
+		}
+		if a.cost > b.cost {
+			return 1
+		}
+		return 0
+	})
+	usedPeak := boolBuf(&d.usedPeakBuf, len(peaks))
+	usedUser := boolBuf(&d.usedUserBuf, len(ests))
 	count := 0
 	for _, c := range cands {
 		if usedPeak[c.pi] || usedUser[c.ui] {
@@ -641,11 +682,7 @@ func (d *Decoder) assignGreedy(allPeaks [][]peakObs, users []*User) {
 	period := float64(d.n)
 	for w := range allPeaks {
 		peaks := allPeaks[w]
-		type cand struct {
-			pi, ui int
-			cost   float64
-		}
-		var cands []cand
+		cands := d.candBuf[:0]
 		for pi, pk := range peaks {
 			pkFrac := pk.bin - math.Floor(pk.bin)
 			for ui, u := range users {
@@ -660,12 +697,21 @@ func (d *Decoder) assignGreedy(allPeaks [][]peakObs, users []*User) {
 				// deciding feature — weight it accordingly.
 				uMag := cmplxAbs(u.Gain) * float64(d.n)
 				magRatio := math.Abs(math.Log((pk.mag + 1e-30) / (uMag + 1e-30)))
-				cands = append(cands, cand{pi: pi, ui: ui, cost: fd + 0.15*magRatio})
+				cands = append(cands, matchCand{pi: pi, ui: ui, cost: fd + 0.15*magRatio})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
-		usedPeak := make([]bool, len(peaks))
-		usedUser := make([]bool, len(users))
+		d.candBuf = cands
+		slices.SortFunc(cands, func(a, b matchCand) int {
+			if a.cost < b.cost {
+				return -1
+			}
+			if a.cost > b.cost {
+				return 1
+			}
+			return 0
+		})
+		usedPeak := boolBuf(&d.usedPeakBuf, len(peaks))
+		usedUser := boolBuf(&d.usedUserBuf, len(users))
 		for _, c := range cands {
 			if usedPeak[c.pi] || usedUser[c.ui] {
 				continue
@@ -682,7 +728,9 @@ func (d *Decoder) assignGreedy(allPeaks [][]peakObs, users []*User) {
 // become feature points (fractional offset on the unit circle plus log
 // channel magnitude), peaks within a window are pairwise cannot-linked, and
 // the resulting clusters are mapped to users by fractional-offset proximity
-// of their centroids to the preamble estimates.
+// of their centroids to the preamble estimates. This path is off by default
+// (Config.UseClustering) and allocates freely; only the greedy path is held
+// to the zero-alloc steady state.
 func (d *Decoder) assignByClustering(allPeaks [][]peakObs, users []*User) {
 	var pts []cluster.Point
 	var refs []*peakObs

@@ -37,6 +37,7 @@ import (
 	"math/rand/v2"
 
 	"choir/internal/dsp"
+	"choir/internal/linalg"
 	"choir/internal/lora"
 )
 
@@ -123,12 +124,58 @@ type Decoder struct {
 	pad    int      // effective padding factor padN/n
 	fft    *dsp.FFT // padded-size plan
 	symFFT *dsp.FFT // symbol-size plan
+	pcg    *rand.PCG
 	rng    *rand.Rand
 
 	scratchDech []complex128
-	scratchPad  []complex128
 	scratchSpec []complex128
 	scratchMags []float64
+
+	// Per-decode scratch arena plus dedicated reusable buffers for the
+	// pipeline's per-window temporaries. Together they make steady-state
+	// decodes allocation-free (see arena.go for the ownership rules).
+	ar    arena
+	lsWS  linalg.Workspace
+	codec lora.CodecScratch
+
+	peakScratch  dsp.PeakScratch
+	noiseScratch []float64
+
+	winsBuf   [][]complex128 // preamble working windows (SIC residuals)
+	dechCopy  []complex128   // mutable copy of a dechirped window
+	residBuf  []complex128   // residual workspace for segment-model sweeps
+	workBuf   []complex128   // cleaned-window workspace
+	maskedBuf []complex128   // masked / re-added tone workspace
+	prefixBuf []complex128   // segmentFit prefix sums (n+1)
+	prefPrev  []complex128   // accumulateBoundaryScan prefix sums (n+1)
+	prefCur   []complex128
+	prefNext  []complex128
+	prefA     []complex128 // splitScore prefix sums (n+1)
+	prefB     []complex128
+
+	offsBuf     []float64
+	scoresBuf   []float64
+	powerBuf    []float64
+	origMagBuf  []float64
+	accBuf      []float64 // DetectTeam accumulated power spectrum
+	hsBuf       []complex128
+	hsFallback  []complex128
+	i0sBuf      []int
+	intTmp      []int
+	boundsBuf   []int
+	missingBuf  []int
+	segModels   []segModel
+	regsBuf     []segReg
+	ownerBuf    []int
+	candBuf     []matchCand
+	usedPeakBuf []bool
+	usedUserBuf []bool
+	obsBuf      []binObs
+	groupBuf    []obsGroup
+	coarseBuf   []float64
+	estFound    []userEstimate
+	estAccum    []userEstimate
+	allPeaksBuf [][]peakObs
 
 	// ctx/ctxErr hold the active DecodeCtx context during a decode. ctxErr
 	// latches the first observed cancellation (mapped to ErrCanceled /
@@ -189,6 +236,7 @@ func New(cfg Config) (*Decoder, error) {
 	}
 	n := cfg.LoRa.N()
 	padN := dsp.NextPow2(cfg.Pad * n)
+	pcg := rand.NewPCG(cfg.Seed, cfg.Seed^0xC0FFEE)
 	return &Decoder{
 		cfg:         cfg,
 		modem:       modem,
@@ -197,9 +245,9 @@ func New(cfg Config) (*Decoder, error) {
 		pad:         padN / n,
 		fft:         dsp.NewFFT(padN),
 		symFFT:      dsp.NewFFT(n),
-		rng:         rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xC0FFEE)),
+		pcg:         pcg,
+		rng:         rand.New(pcg),
 		scratchDech: make([]complex128, n),
-		scratchPad:  make([]complex128, padN),
 		scratchSpec: make([]complex128, padN),
 		scratchMags: make([]float64, padN),
 	}, nil
@@ -221,10 +269,12 @@ func (d *Decoder) Config() Config { return d.cfg }
 // fine-search starting points) to the deterministic state New would produce
 // for seed. Decoder pools reseed on checkout so a pooled decoder's results
 // depend only on the trial's derived seed, never on which trials the
-// instance served before.
+// instance served before. Reseeding is allocation-free: the PCG source is
+// reset in place (rand/v2's Rand holds no state of its own), producing the
+// identical stream a freshly built decoder would.
 func (d *Decoder) Reseed(seed uint64) {
 	d.cfg.Seed = seed
-	d.rng = rand.New(rand.NewPCG(seed, seed^0xC0FFEE))
+	d.pcg.Seed(seed, seed^0xC0FFEE)
 }
 
 // User is one transmitter recovered from a collision.
@@ -286,6 +336,23 @@ func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) 
 	return d.DecodeCtx(context.Background(), samples, payloadLen)
 }
 
+// DecodeInto is Decode recycling the caller's Result: the Users slice, the
+// User structs and their Symbols/WindowOffsets/Payload storage are reused
+// instead of reallocated, so a warmed-up decoder decoding same-shaped
+// collisions performs zero heap allocations per call. res may be the Result
+// of any previous decode (its contents are fully overwritten) or an empty
+// &Result{}; it must not be nil and must not be in use by another goroutine.
+// Decode results are bit-identical to Decode's.
+func (d *Decoder) DecodeInto(res *Result, samples []complex128, payloadLen int) (*Result, error) {
+	if res == nil {
+		res = &Result{}
+	}
+	if err := d.decodeCtxInto(context.Background(), res, samples, payloadLen); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // DecodeCtx is Decode bounded by a context. Cancellation is cooperative:
 // the decoder polls ctx between pipeline stages (preamble windows, SIC
 // phases, data windows, IC sweeps) and returns a typed ErrCanceled or
@@ -295,8 +362,19 @@ func (d *Decoder) Decode(samples []complex128, payloadLen int) (*Result, error) 
 // after a canceled decode (scratch state is rebuilt per call and the RNG is
 // untouched by the polls), so pooled decoders need no special handling.
 func (d *Decoder) DecodeCtx(ctx context.Context, samples []complex128, payloadLen int) (*Result, error) {
+	res := &Result{}
+	if err := d.decodeCtxInto(ctx, res, samples, payloadLen); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// decodeCtxInto runs the decode pipeline, filling res (whose storage it
+// recycles when present).
+func (d *Decoder) decodeCtxInto(ctx context.Context, res *Result, samples []complex128, payloadLen int) error {
 	d.armCtx(ctx)
 	defer d.disarmCtx()
+	d.ar.reset()
 	sp := mDecodeTimer.Start()
 	defer sp.Stop()
 	mDecodes.Inc()
@@ -305,32 +383,33 @@ func (d *Decoder) DecodeCtx(ctx context.Context, samples []complex128, payloadLe
 	if len(samples) < need {
 		err := fmt.Errorf("%w: have %d samples, need %d", lora.ErrShortSignal, len(samples), need)
 		countDecodeErr(err)
-		return nil, err
+		return err
 	}
 	if err := validateIQ(samples); err != nil {
 		countDecodeErr(err)
-		return nil, err
+		return err
 	}
 	ests := d.estimatePreamble(samples)
 	if d.canceled() {
 		countDecodeErr(d.ctxErr)
-		return nil, d.ctxErr
+		return d.ctxErr
 	}
 	if len(ests) == 0 {
 		countDecodeErr(ErrNoUsers)
-		return nil, ErrNoUsers
+		return ErrNoUsers
 	}
 	mUsersDetected.Add(int64(len(ests)))
-	users := d.decodeData(samples, ests, payloadLen)
+	users := d.decodeData(res, samples, ests, payloadLen)
 	if d.canceled() {
 		countDecodeErr(d.ctxErr)
-		return nil, d.ctxErr
+		return d.ctxErr
 	}
 	for _, u := range users {
 		countUserOutcome(u)
 	}
 	countDecodeErr(nil)
-	return &Result{Users: users}, nil
+	res.Users = users
+	return nil
 }
 
 // armCtx installs ctx as the active decode context. Contexts that can never
@@ -379,14 +458,13 @@ func (d *Decoder) dechirpWindow(samples []complex128, off int) []complex128 {
 }
 
 // paddedSpectrum computes the complex zero-padded spectrum of a dechirped
-// window into scratch (valid until the next call).
+// window into scratch (valid until the next call). The pruned transform skips
+// the structurally-zero butterfly stages of the padded input and the former
+// zero-then-copy of a padded buffer; the spectrum matches the full transform
+// bit-for-bit (up to the sign of zero, invisible through any downstream use).
 func (d *Decoder) paddedSpectrum(dech []complex128) []complex128 {
 	sp := mStageFFT.Start()
-	for i := range d.scratchPad {
-		d.scratchPad[i] = 0
-	}
-	copy(d.scratchPad, dech)
-	out := d.fft.Transform(d.scratchSpec, d.scratchPad)
+	out := d.fft.TransformPruned(d.scratchSpec, dech)
 	sp.Stop()
 	return out
 }
@@ -402,6 +480,46 @@ func (d *Decoder) magnitudes(spec []complex128) []float64 {
 		out[i] = math.Hypot(real(v), imag(v))
 	}
 	return out
+}
+
+// c128Buf resizes *buf to length n, reusing its capacity, and returns it.
+// Contents are unspecified; callers overwrite.
+func c128Buf(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// f64Buf is c128Buf for float64 slices.
+func f64Buf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// intBuf is c128Buf for int slices.
+func intBuf(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// boolBuf is c128Buf for bool slices, returned zeroed.
+func boolBuf(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	for i := range *buf {
+		(*buf)[i] = false
+	}
+	return *buf
 }
 
 // specAt samples a complex padded spectrum at a fractional natural-bin

@@ -26,7 +26,7 @@ type collisionSpec struct {
 }
 
 // synthesize renders the collision to baseband samples.
-func synthesize(t *testing.T, spec collisionSpec) []complex128 {
+func synthesize(t testing.TB, spec collisionSpec) []complex128 {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(spec.seed, spec.seed^0xABCDEF))
 	m := lora.MustModem(spec.params)

@@ -103,7 +103,7 @@ func TestTrackingLostIsTyped(t *testing.T) {
 		t.Fatal("no users in preamble")
 	}
 	cut := (spec.params.HeaderSymbols() + 2) * spec.params.N()
-	users := d.decodeData(sig[:cut], ests, len(spec.payloads[0]))
+	users := d.decodeData(&Result{}, sig[:cut], ests, len(spec.payloads[0]))
 	if len(users) == 0 {
 		t.Fatal("no users returned")
 	}

@@ -2,13 +2,14 @@ package choir
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"choir/internal/dsp"
-	"choir/internal/linalg"
 )
 
-// userEstimate is one transmitter's preamble-derived state.
+// userEstimate is one transmitter's preamble-derived state. Its slice fields
+// are arena-backed: valid for the rest of the current decode only.
 type userEstimate struct {
 	offset   float64      // aggregate offset in bins (mod n), sub-bin precision
 	gain     complex128   // channel averaged coherently over preamble windows
@@ -29,19 +30,25 @@ func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
 	nWin := p.PreambleLen
 
 	// Working copies of each dechirped preamble window: SIC subtracts
-	// reconstructed strong users from these.
-	wins := make([][]complex128, nWin)
+	// reconstructed strong users from these. The window buffers persist on
+	// the decoder and are overwritten every decode.
+	if cap(d.winsBuf) < nWin {
+		d.winsBuf = append(d.winsBuf[:cap(d.winsBuf)], make([][]complex128, nWin-cap(d.winsBuf))...)
+	}
+	wins := d.winsBuf[:nWin]
 	for w := 0; w < nWin; w++ {
 		if d.canceled() {
 			return nil
 		}
 		dech := d.dechirpWindow(samples, w*d.n)
-		wins[w] = append([]complex128(nil), dech...)
+		wins[w] = c128Buf(&wins[w], d.n)
+		copy(wins[w], dech)
 	}
 
-	var users []userEstimate
+	users := d.estAccum[:0]
 	for phase := 0; phase <= d.cfg.SICPhases; phase++ {
 		if d.canceled() {
+			d.estAccum = users
 			return nil
 		}
 		found := d.findPreambleUsers(wins, users)
@@ -59,7 +66,16 @@ func (d *Decoder) estimatePreamble(samples []complex128) []userEstimate {
 		d.subtractUsers(wins, users)
 		sicSp.Stop()
 	}
-	sort.Slice(users, func(i, j int) bool { return users[i].power > users[j].power })
+	d.estAccum = users
+	slices.SortFunc(users, func(a, b userEstimate) int {
+		if a.power > b.power {
+			return -1
+		}
+		if a.power < b.power {
+			return 1
+		}
+		return 0
+	})
 	users = d.mergeMultipathRays(users)
 	if len(users) > d.cfg.MaxUsers {
 		users = users[:d.cfg.MaxUsers]
@@ -116,18 +132,17 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 	// window's strongest are deferred to a later SIC phase: at that depth
 	// they cannot be told apart from the strong peaks' sinc side lobes, so
 	// they must wait until the strong users are modelled and subtracted.
+	// Observations are gathered in window order into one flat reusable
+	// buffer; the grouping pass below only needs that order, not the
+	// per-window structure.
 	relCut := math.Pow(10, -d.cfg.DynamicRangeDB/20)
-	type obs struct {
-		bin float64
-		mag float64
-	}
-	perWin := make([][]obs, len(wins))
-	for w, dech := range wins {
+	obsAll := d.obsBuf[:0]
+	for _, dech := range wins {
 		spec := d.paddedSpectrum(dech)
 		mags := d.magnitudes(spec)
 		pkSp := mStagePeaks.Start()
-		floor := dsp.NoiseFloor(mags)
-		peaks := dsp.FindPeaks(mags, dsp.PeakConfig{
+		floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
+		peaks := dsp.FindPeaksScratch(&d.peakScratch, mags, dsp.PeakConfig{
 			Pad:           d.pad,
 			MinSeparation: 0.9,
 			Threshold:     floor * d.cfg.PeakThreshold,
@@ -141,50 +156,58 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 			if len(peaks) > 0 && pk.Mag < peaks[0].Mag*relCut {
 				continue
 			}
-			perWin[w] = append(perWin[w], obs{bin: pk.Bin, mag: pk.Mag})
+			obsAll = append(obsAll, binObs{bin: pk.Bin, mag: pk.Mag})
 		}
 	}
+	d.obsBuf = obsAll
 
 	// Group observations across windows by circular proximity (< 0.5 bin),
-	// matching each observation to the nearest existing group.
-	type group struct {
-		bins []float64
-		mags []float64
-		hits int
-	}
-	var groups []group
+	// matching each observation to the nearest existing group. Groups carry
+	// running circular-mean sums instead of member lists (see obsGroup).
+	groups := d.groupBuf[:0]
 	period := float64(d.n)
-	for _, obsw := range perWin {
-		for _, o := range obsw {
-			best, bestDist := -1, 0.5
-			for gi := range groups {
-				ref := circularMean(groups[gi].bins, period)
-				if dist := dsp.CircularBinDist(ref, o.bin, period); dist < bestDist {
-					best, bestDist = gi, dist
-				}
-			}
-			if best >= 0 {
-				groups[best].bins = append(groups[best].bins, o.bin)
-				groups[best].mags = append(groups[best].mags, o.mag)
-				groups[best].hits++
-			} else {
-				groups = append(groups, group{bins: []float64{o.bin}, mags: []float64{o.mag}, hits: 1})
+	for _, o := range obsAll {
+		best, bestDist := -1, 0.5
+		for gi := range groups {
+			ref := circularMeanFromSums(groups[gi].sx, groups[gi].sy, period)
+			if dist := dsp.CircularBinDist(ref, o.bin, period); dist < bestDist {
+				best, bestDist = gi, dist
 			}
 		}
+		s, c := math.Sincos(2 * math.Pi * o.bin / period)
+		if best >= 0 {
+			groups[best].sx += c
+			groups[best].sy += s
+			groups[best].magSum += o.mag
+			groups[best].hits++
+		} else {
+			groups = append(groups, obsGroup{sx: c, sy: s, magSum: o.mag, hits: 1})
+		}
 	}
+	d.groupBuf = groups
 
 	// A user must appear in at least half the preamble windows. Keep the
-	// strongest groups when the budget binds.
+	// strongest groups when the budget binds. The sort key reproduces the
+	// original mean(mags)*hits expression exactly.
 	minHits := (len(wins) + 1) / 2
-	sort.Slice(groups, func(i, j int) bool {
-		return dsp.Mean(groups[i].mags)*float64(groups[i].hits) > dsp.Mean(groups[j].mags)*float64(groups[j].hits)
+	slices.SortFunc(groups, func(a, b obsGroup) int {
+		ka := a.magSum / float64(a.hits) * float64(a.hits)
+		kb := b.magSum / float64(b.hits) * float64(b.hits)
+		if ka > kb {
+			return -1
+		}
+		if ka < kb {
+			return 1
+		}
+		return 0
 	})
-	var coarse []float64
+	coarse := d.coarseBuf[:0]
 	for _, g := range groups {
 		if g.hits >= minHits {
-			coarse = append(coarse, circularMean(g.bins, period))
+			coarse = append(coarse, circularMeanFromSums(g.sx, g.sy, period))
 		}
 	}
+	d.coarseBuf = coarse
 	if len(coarse) == 0 {
 		return nil
 	}
@@ -198,23 +221,33 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 
 	// Joint per-window refinement: least-squares channels (+ optional
 	// residual-minimization of offsets), then aggregate across windows.
-	ests := make([]userEstimate, len(coarse))
+	if cap(d.estFound) < len(coarse) {
+		d.estFound = make([]userEstimate, len(coarse))
+	}
+	ests := d.estFound[:len(coarse)]
 	for i := range ests {
-		ests[i].perWin = make([]float64, 0, len(wins))
-		ests[i].gainWin = make([]complex128, 0, len(wins))
+		ests[i] = userEstimate{
+			perWin:  d.ar.f64.takeCap(len(wins)),
+			gainWin: d.ar.c128.takeCap(len(wins)),
+			i0Win:   d.ar.ints.takeCap(len(wins)),
+		}
 	}
 	for _, dech := range wins {
 		if d.canceled() {
 			return nil
 		}
-		offs := append([]float64(nil), coarse...)
+		var offs []float64
 		var hs []complex128
 		var i0s []int
 		if d.cfg.FineSearch {
-			offs, hs, i0s = d.refineOffsets(dech, offs)
+			offs, hs, i0s = d.refineOffsets(dech, coarse)
 		} else {
+			offs = coarse
 			hs = d.fitChannels(dech, offs)
-			i0s = make([]int, len(offs))
+			i0s = intBuf(&d.i0sBuf, len(offs))
+			for i := range i0s {
+				i0s[i] = 0
+			}
 		}
 		for i := range ests {
 			ests[i].perWin = append(ests[i].perWin, offs[i])
@@ -225,7 +258,7 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 	for i := range ests {
 		ests[i].offset = circularMean(ests[i].perWin, period)
 		ests[i].gain = coherentGain(ests[i].gainWin)
-		ests[i].boundary = medianInt(ests[i].i0Win)
+		ests[i].boundary = d.medianIntScratch(ests[i].i0Win)
 		var pw float64
 		for _, h := range ests[i].gainWin {
 			pw += real(h)*real(h) + imag(h)*imag(h)
@@ -242,6 +275,17 @@ func medianInt(xs []int) int {
 	}
 	tmp := append([]int(nil), xs...)
 	sort.Ints(tmp)
+	return tmp[len(tmp)/2]
+}
+
+// medianIntScratch is medianInt on a reusable scratch copy.
+func (d *Decoder) medianIntScratch(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := intBuf(&d.intTmp, len(xs))
+	copy(tmp, xs)
+	slices.Sort(tmp)
 	return tmp[len(tmp)/2]
 }
 
@@ -314,9 +358,13 @@ func (d *Decoder) validateCandidates(wins [][]complex128, coarse []float64) []fl
 	}
 	// Use up to three windows spread across the preamble for the vote.
 	probe := []int{0, len(wins) / 2, len(wins) - 1}
-	power := make([]float64, len(coarse))
+	power := f64Buf(&d.powerBuf, len(coarse))
+	for i := range power {
+		power[i] = 0
+	}
 	for _, w := range probe {
-		resid := append([]complex128(nil), wins[w]...)
+		resid := c128Buf(&d.residBuf, d.n)
+		copy(resid, wins[w])
 		for i, f := range coarse {
 			// The coarse peak position is biased by the candidate's own
 			// segment structure; refine it so the subtraction is complete
@@ -353,15 +401,13 @@ func (d *Decoder) validateCandidates(wins [][]complex128, coarse []float64) []fl
 // complex gains around an estimated boundary) and subtract that, iterating
 // users so each fit sees the others removed.
 func (d *Decoder) subtractUsers(wins [][]complex128, users []userEstimate) {
-	type segModel struct {
-		f      float64
-		h1, h2 complex128
-		i0     int
-	}
 	for _, dech := range wins {
-		models := make([]segModel, len(users))
+		if cap(d.segModels) < len(users) {
+			d.segModels = make([]segModel, len(users))
+		}
+		models := d.segModels[:len(users)]
 		// Initialize from a joint single-tone fit.
-		offs := make([]float64, len(users))
+		offs := f64Buf(&d.offsBuf, len(users))
 		for i, u := range users {
 			offs[i] = u.offset
 		}
@@ -369,7 +415,8 @@ func (d *Decoder) subtractUsers(wins [][]complex128, users []userEstimate) {
 		for i := range models {
 			models[i] = segModel{f: offs[i], h1: hs[i], h2: hs[i], i0: 0}
 		}
-		residual := append([]complex128(nil), dech...)
+		residual := c128Buf(&d.residBuf, len(dech))
+		copy(residual, dech)
 		for i := range models {
 			d.subtractSegments(residual, models[i].f, models[i].h1, models[i].h2, models[i].i0)
 		}
@@ -379,7 +426,7 @@ func (d *Decoder) subtractUsers(wins [][]complex128, users []userEstimate) {
 			for i := range models {
 				// Add this user's current model back.
 				d.addSegments(residual, models[i].f, models[i].h1, models[i].h2, models[i].i0)
-				h1, h2, i0 := segmentFit(residual, models[i].f/float64(d.n))
+				h1, h2, i0 := d.segmentFit(residual, models[i].f/float64(d.n))
 				models[i].h1, models[i].h2, models[i].i0 = h1, h2, i0
 				d.subtractSegments(residual, models[i].f, h1, h2, i0)
 			}
@@ -395,7 +442,7 @@ func (d *Decoder) segmentFitRefined(x []complex128, fBins float64) (float64, com
 	sp := mStageResidual.Start()
 	defer sp.Stop()
 	explained := func(f float64) float64 {
-		h1, h2, i0 := segmentFit(x, f/float64(d.n))
+		h1, h2, i0 := d.segmentFit(x, f/float64(d.n))
 		p1 := real(h1)*real(h1) + imag(h1)*imag(h1)
 		p2 := real(h2)*real(h2) + imag(h2)*imag(h2)
 		return p1*float64(i0) + p2*float64(d.n-i0)
@@ -417,18 +464,20 @@ func (d *Decoder) segmentFitRefined(x []complex128, fBins float64) (float64, com
 		}
 	}
 	best := (a + b) / 2
-	h1, h2, i0 := segmentFit(x, best/float64(d.n))
+	h1, h2, i0 := d.segmentFit(x, best/float64(d.n))
 	return best, h1, h2, i0
 }
 
 // segmentFit fits the two-segment tone model h₁·e^{j2πfn} (n < i0) plus
 // h₂·e^{j2πfn} (n >= i0) to x, choosing the boundary i0 that maximizes the
 // explained energy. Thanks to prefix sums the search over all boundaries is
-// O(len(x)). f is in cycles per sample.
-func segmentFit(x []complex128, f float64) (h1, h2 complex128, i0 int) {
+// O(len(x)). f is in cycles per sample. The prefix-sum buffer persists on
+// the decoder — this is the single hottest routine of a decode.
+func (d *Decoder) segmentFit(x []complex128, f float64) (h1, h2 complex128, i0 int) {
 	n := len(x)
 	// prefix[i] = Σ_{k<i} x[k]·e^{-j2πfk}
-	prefix := make([]complex128, n+1)
+	prefix := c128Buf(&d.prefixBuf, n+1)
+	prefix[0] = 0
 	for k := 0; k < n; k++ {
 		s, c := math.Sincos(-2 * math.Pi * f * float64(k))
 		prefix[k+1] = prefix[k] + x[k]*complex(c, s)
@@ -497,13 +546,15 @@ func subtractTone(x []complex128, f float64, h complex128) {
 }
 
 // fitChannels solves the least-squares channel fit of Eqn. 2 for the given
-// offsets (in bins) against one dechirped window.
+// offsets (in bins) against one dechirped window. The returned slice aliases
+// decoder-owned workspace storage and is valid until the next fitChannels /
+// fitSegments call; every call site consumes or copies the gains before then.
 func (d *Decoder) fitChannels(dech []complex128, offsets []float64) []complex128 {
 	k := len(offsets)
 	if k == 0 {
 		return nil
 	}
-	e := linalg.NewMatrix(d.n, k)
+	e := d.lsWS.DesignMatrix(d.n, k)
 	for j, f := range offsets {
 		cyc := f / float64(d.n)
 		for i := 0; i < d.n; i++ {
@@ -511,11 +562,11 @@ func (d *Decoder) fitChannels(dech []complex128, offsets []float64) []complex128
 			e.Set(i, j, complex(c, s))
 		}
 	}
-	hs, err := linalg.LeastSquares(e, dech)
+	hs, err := d.lsWS.LeastSquaresInto(e, dech)
 	if err != nil {
 		// Nearly identical offsets: fall back to independent matched
 		// filters; leakage stays, but decoding can proceed.
-		hs = make([]complex128, k)
+		hs = c128Buf(&d.hsFallback, k)
 		for j, f := range offsets {
 			hs[j] = matchedFilter(dech, f/float64(d.n))
 		}
@@ -557,17 +608,19 @@ func (d *Decoder) residual(dech []complex128, offsets []float64) float64 {
 // user's frequency within ±0.5 bin of its coarse estimate. It returns the
 // refined offsets, each user's dominant-segment channel, and each user's
 // estimated segment boundary (the sample index within the window where its
-// symbol edge falls).
+// symbol edge falls). All three returned slices are decoder-owned scratch,
+// valid until the next refineOffsets call; coarse is not modified.
 func (d *Decoder) refineOffsets(dech []complex128, coarse []float64) ([]float64, []complex128, []int) {
-	offs := append([]float64(nil), coarse...)
-	k := len(offs)
-	type segModel struct {
-		h1, h2 complex128
-		i0     int
+	k := len(coarse)
+	offs := f64Buf(&d.offsBuf, k)
+	copy(offs, coarse)
+	if cap(d.segModels) < k {
+		d.segModels = make([]segModel, k)
 	}
-	models := make([]segModel, k)
+	models := d.segModels[:k]
 	joint := d.fitChannels(dech, offs)
-	residual := append([]complex128(nil), dech...)
+	residual := c128Buf(&d.residBuf, len(dech))
+	copy(residual, dech)
 	for i := 0; i < k; i++ {
 		models[i] = segModel{h1: joint[i], h2: joint[i], i0: 0}
 		d.subtractSegments(residual, offs[i], joint[i], joint[i], 0)
@@ -582,8 +635,8 @@ func (d *Decoder) refineOffsets(dech []complex128, coarse []float64) ([]float64,
 			d.subtractSegments(residual, f, h1, h2, i0)
 		}
 	}
-	hs := make([]complex128, k)
-	i0s := make([]int, k)
+	hs := c128Buf(&d.hsBuf, k)
+	i0s := intBuf(&d.i0sBuf, k)
 	for i := 0; i < k; i++ {
 		// Report the longer segment's channel: it carries the symbol
 		// aligned with this window.
@@ -638,6 +691,13 @@ func circularMean(bins []float64, period float64) float64 {
 		sx += c
 		sy += s
 	}
+	return circularMeanFromSums(sx, sy, period)
+}
+
+// circularMeanFromSums finishes a circular mean from accumulated Σcos/Σsin.
+// Feeding it sums accumulated in element order reproduces circularMean
+// bit-for-bit.
+func circularMeanFromSums(sx, sy, period float64) float64 {
 	ang := math.Atan2(sy, sx)
 	if ang < 0 {
 		ang += 2 * math.Pi

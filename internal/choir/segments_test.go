@@ -15,7 +15,7 @@ func TestUserSegsOrientations(t *testing.T) {
 
 	// Late transmitter (boundary in the first half): head carries the
 	// previous symbol, tail carries this window's.
-	segs := d.userSegs(u, 1, 20, 3, syncTail)
+	segs := d.appendUserSegs(nil, u, 1, 20, 3, syncTail)
 	if len(segs) != 2 {
 		t.Fatalf("late: %d segs", len(segs))
 	}
@@ -30,7 +30,7 @@ func TestUserSegsOrientations(t *testing.T) {
 
 	// Early transmitter (boundary in the second half): head carries this
 	// window's symbol, tail the next one's.
-	segs = d.userSegs(u, 1, 240, 3, syncTail)
+	segs = d.appendUserSegs(nil, u, 1, 240, 3, syncTail)
 	wantHead = math.Mod(float64(150)+10, float64(d.n))
 	wantTail = math.Mod(float64(200)+10, float64(d.n))
 	if segs[0].f != wantHead || segs[1].f != wantTail {
@@ -38,14 +38,14 @@ func TestUserSegsOrientations(t *testing.T) {
 	}
 
 	// Window 0 with a late transmitter: head comes from the sync word.
-	segs = d.userSegs(u, 0, 20, 3, syncTail)
+	segs = d.appendUserSegs(nil, u, 0, 20, 3, syncTail)
 	if segs[0].f != math.Mod(float64(syncTail)+10, float64(d.n)) {
 		t.Errorf("window 0 head tone %+v", segs[0])
 	}
 
 	// Last window with an early transmitter: the next symbol is past the
 	// frame, so only the head segment remains.
-	segs = d.userSegs(u, 2, 240, 3, syncTail)
+	segs = d.appendUserSegs(nil, u, 2, 240, 3, syncTail)
 	if len(segs) != 1 || segs[0].hi != 240 {
 		t.Errorf("frame-end segs %+v", segs)
 	}

@@ -45,7 +45,10 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 	if err := validateIQ(samples); err != nil {
 		return nil, err
 	}
-	acc := make([]float64, d.padN)
+	acc := f64Buf(&d.accBuf, d.padN)
+	for i := range acc {
+		acc[i] = 0
+	}
 	for w := 0; w < p.PreambleLen; w++ {
 		if d.canceled() {
 			return nil, d.ctxErr
@@ -56,11 +59,11 @@ func (d *Decoder) DetectTeam(samples []complex128) ([]float64, error) {
 			acc[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	floor := dsp.NoiseFloor(acc)
+	floor := dsp.NoiseFloorScratch(acc, f64Buf(&d.noiseScratch, len(acc)))
 	// Accumulated power spectra have a χ² noise distribution; a lower
 	// multiple of the median suffices compared with single-shot detection.
 	thresh := floor * (1 + (d.cfg.PeakThreshold-1)/2)
-	peaks := dsp.FindPeaks(acc, dsp.PeakConfig{
+	peaks := dsp.FindPeaksScratch(&d.peakScratch, acc, dsp.PeakConfig{
 		Pad:           d.pad,
 		MinSeparation: 0.9,
 		Threshold:     thresh,
@@ -175,11 +178,11 @@ func (d *Decoder) DecodeTeamCtx(ctx context.Context, samples []complex128, paylo
 // below the true symbol, while the floor keeps deeply-faded bins from
 // vetoing an otherwise unanimous decision.
 func (d *Decoder) mlSymbol(spec []complex128, offs []float64) int {
-	mags := make([]float64, len(spec))
+	mags := f64Buf(&d.scratchMags, len(spec))
 	for i, v := range spec {
 		mags[i] = real(v)*real(v) + imag(v)*imag(v)
 	}
-	floor := dsp.NoiseFloor(mags)
+	floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
 	if floor <= 0 {
 		floor = 1e-30
 	}
@@ -283,8 +286,8 @@ func (d *Decoder) SubtractDecodedUsers(samples []complex128, res *Result, payloa
 // frequencies (in bins; negative means "no tone", e.g. outside the frame)
 // of the better-scoring orientation.
 func (d *Decoder) splitTwoToneFit(dech []complex128, prevTone, curTone, nextTone float64) (ha, hb complex128, i0 int, fHead, fTail float64) {
-	scoreA, haA, hbA, i0A := splitScore(dech, prevTone/float64(d.n), curTone/float64(d.n))
-	scoreB, haB, hbB, i0B := splitScore(dech, curTone/float64(d.n), nextTone/float64(d.n))
+	scoreA, haA, hbA, i0A := d.splitScore(dech, prevTone/float64(d.n), curTone/float64(d.n))
+	scoreB, haB, hbB, i0B := d.splitScore(dech, curTone/float64(d.n), nextTone/float64(d.n))
 	if prevTone < 0 {
 		scoreA = math.Inf(-1)
 	}
@@ -298,11 +301,13 @@ func (d *Decoder) splitTwoToneFit(dech []complex128, prevTone, curTone, nextTone
 }
 
 // splitScore finds the boundary i0 maximizing the energy explained by a
-// head tone at fa and a tail tone at fb (cycles/sample) via prefix sums.
-func splitScore(x []complex128, fa, fb float64) (score float64, ha, hb complex128, i0 int) {
+// head tone at fa and a tail tone at fb (cycles/sample) via prefix sums
+// held in decoder scratch.
+func (d *Decoder) splitScore(x []complex128, fa, fb float64) (score float64, ha, hb complex128, i0 int) {
 	n := len(x)
-	prefA := make([]complex128, n+1)
-	prefB := make([]complex128, n+1)
+	prefA := c128Buf(&d.prefA, n+1)
+	prefB := c128Buf(&d.prefB, n+1)
+	prefA[0], prefB[0] = 0, 0
 	for k := 0; k < n; k++ {
 		sa, ca := math.Sincos(-2 * math.Pi * fa * float64(k))
 		sb, cb := math.Sincos(-2 * math.Pi * fb * float64(k))

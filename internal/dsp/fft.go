@@ -106,7 +106,14 @@ func (f *FFT) transform(dst, src, tw []complex128) []complex128 {
 			dst[i] = src[j]
 		}
 	}
-	for size := 2; size <= f.n; size <<= 1 {
+	f.stages(dst, tw, 2)
+	return dst
+}
+
+// stages runs the radix-2 butterfly passes from size fromSize up to the full
+// transform length over an already bit-reverse-permuted buffer.
+func (f *FFT) stages(dst, tw []complex128, fromSize int) {
+	for size := fromSize; size <= f.n; size <<= 1 {
 		half := size >> 1
 		step := f.n / size
 		for start := 0; start < f.n; start += size {
@@ -118,6 +125,71 @@ func (f *FFT) transform(dst, src, tw []complex128) []complex128 {
 				k += step
 			}
 		}
+	}
+}
+
+// TransformPruned computes the forward DFT of src zero-padded to the plan
+// size f.Len(), skipping every butterfly whose inputs are structurally zero.
+// It is exactly Transform applied to src ++ zeros, but prunes the first
+// log2(pad) stages: after the bit-reversal permutation, each aligned block of
+// pad = f.Len()/NextPow2(len(src)) outputs is the DFT of a stride-decimated
+// subsequence of the padded input that contains at most one nonzero sample,
+// and the DFT of (x, 0, …, 0) is the constant x — so those stages collapse
+// to a broadcast fill. For the decoder's 7/8-zero inputs (pad 16) this
+// removes 4 of the 11 stages of an SF7 transform plus the cost of zeroing
+// and copying a padded scratch buffer.
+//
+// Results match Transform on the padded input bit-for-bit up to the sign of
+// zero (the full transform can produce −0 where the pruned one writes +0;
+// the values compare equal and are indistinguishable through any arithmetic
+// other than math.Signbit). len(src) may be any length <= f.Len(); it is
+// virtually padded to the next power of two for the pruning. src and dst
+// must not alias.
+func (f *FFT) TransformPruned(dst, src []complex128) []complex128 {
+	m := len(src)
+	if m == f.n {
+		return f.Transform(dst, src)
+	}
+	if m > f.n {
+		panic(fmt.Sprintf("dsp: pruned FFT input length %d > size %d", m, f.n))
+	}
+	if m == 0 {
+		panic("dsp: pruned FFT of empty input")
+	}
+	if len(dst) != f.n {
+		dst = make([]complex128, f.n)
+	}
+	pad := f.n / NextPow2(m)
+	// Broadcast fill: block b holds pad copies of the one (possibly virtual
+	// zero) nonzero sample of its decimated subsequence, whose source index
+	// is the bit reversal of b — i.e. f.rev at the block start.
+	for b := 0; b < f.n/pad; b++ {
+		var v complex128
+		if j := f.rev[b*pad]; j < m {
+			v = src[j]
+		}
+		blk := dst[b*pad : b*pad+pad]
+		for t := range blk {
+			blk[t] = v
+		}
+	}
+	f.stages(dst, f.forward, pad<<1)
+	return dst
+}
+
+// SpectrumInto computes the magnitude spectrum of src zero-padded to the
+// plan size into dst, using spec as complex scratch. Both dst and spec are
+// allocated when nil or of the wrong length; dst is returned. This is the
+// allocation-free core of PaddedSpectrum: hot paths hold an *FFT plus two
+// reusable buffers and pay neither the padded-buffer copy nor any
+// allocation.
+func (f *FFT) SpectrumInto(dst []float64, spec, src []complex128) []float64 {
+	spec = f.TransformPruned(spec, src)
+	if len(dst) != f.n {
+		dst = make([]float64, f.n)
+	}
+	for i, v := range spec {
+		dst[i] = cmplx.Abs(v)
 	}
 	return dst
 }
@@ -154,19 +226,15 @@ func Inverse(x []complex128) []complex128 {
 // offsets (Sec. 5.1 of the paper). The returned slice has length
 // NextPow2(pad*len(x)); bin b corresponds to frequency b/pad (in natural
 // bins of the unpadded transform).
+// Deprecated for decoder-internal paths: it allocates a fresh plan and
+// spectrum on every call. Hot paths should hold an *FFT and call
+// SpectrumInto with reused buffers instead.
 func PaddedSpectrum(x []complex128, pad int) []float64 {
 	if pad < 1 {
 		panic(fmt.Sprintf("dsp: padding factor %d < 1", pad))
 	}
 	n := NextPow2(pad * len(x))
-	in := make([]complex128, n)
-	copy(in, x)
-	out := NewFFT(n).Transform(nil, in)
-	mag := make([]float64, n)
-	for i, v := range out {
-		mag[i] = cmplx.Abs(v)
-	}
-	return mag
+	return NewFFT(n).SpectrumInto(nil, nil, x)
 }
 
 // Energy returns the total energy (sum of |x|²) of the signal.

@@ -83,3 +83,46 @@ func FuzzNoiseFloor(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPrunedFFTMatchesFull asserts TransformPruned(x) equals
+// Transform(x ++ zeros) within 1e-12 relative error for arbitrary inputs and
+// padded plan sizes.
+func FuzzPrunedFFTMatchesFull(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{255, 0, 128, 64}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, padLog uint8) {
+		if len(data) < 2 || len(data) > 1024 {
+			return
+		}
+		m := len(data) / 2
+		src := make([]complex128, m)
+		for i := 0; i < m; i++ {
+			src[i] = complex(float64(data[2*i])-128, float64(data[2*i+1])-128)
+		}
+		n := NextPow2(m) << (padLog % 5)
+		plan := NewFFT(n)
+
+		padded := make([]complex128, n)
+		copy(padded, src)
+		want := plan.Transform(nil, padded)
+		got := plan.TransformPruned(nil, src)
+
+		scale := 0.0
+		for _, v := range want {
+			if a := cmplxAbs(v); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-12 * scale
+		if tol == 0 {
+			tol = 1e-12
+		}
+		for k := range want {
+			if d := cmplxAbs(got[k] - want[k]); d > tol {
+				t.Fatalf("m=%d n=%d: bin %d differs by %g (scale %g)", m, n, k, d, scale)
+			}
+		}
+	})
+}
+
+func cmplxAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }

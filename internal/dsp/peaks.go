@@ -3,7 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Peak describes a local maximum in a (typically zero-padded) magnitude
@@ -54,6 +54,20 @@ type PeakConfig struct {
 // The spectrum is treated as circular (bin 0 adjoins the last bin), matching
 // the aliasing of dechirped chirps.
 func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
+	return FindPeaksScratch(nil, spectrum, cfg)
+}
+
+// PeakScratch holds FindPeaksScratch's working storage so repeated searches
+// allocate nothing once the buffers have grown to the spectrum's candidate
+// count. The returned peaks alias the scratch and stay valid until the next
+// call with the same scratch.
+type PeakScratch struct {
+	cands, kept []Peak
+}
+
+// FindPeaksScratch is FindPeaks reusing s's buffers (s may be nil for
+// one-shot use). Results are identical to FindPeaks.
+func FindPeaksScratch(s *PeakScratch, spectrum []float64, cfg PeakConfig) []Peak {
 	if cfg.Pad < 1 {
 		panic(fmt.Sprintf("dsp: FindPeaks pad %d < 1", cfg.Pad))
 	}
@@ -61,8 +75,11 @@ func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
 	if n == 0 {
 		return nil
 	}
+	if s == nil {
+		s = &PeakScratch{}
+	}
 	period := float64(n) / float64(cfg.Pad)
-	var cands []Peak
+	cands := s.cands[:0]
 	for i := 0; i < n; i++ {
 		prev := spectrum[(i-1+n)%n]
 		next := spectrum[(i+1)%n]
@@ -90,9 +107,18 @@ func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
 		}
 		cands = append(cands, Peak{Bin: bin, Mag: interpMag})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Mag > cands[j].Mag })
+	slices.SortFunc(cands, func(a, b Peak) int {
+		if a.Mag > b.Mag {
+			return -1
+		}
+		if a.Mag < b.Mag {
+			return 1
+		}
+		return 0
+	})
+	s.cands = cands
 
-	var out []Peak
+	out := s.kept[:0]
 	for _, c := range cands {
 		ok := true
 		for _, kept := range out {
@@ -109,6 +135,7 @@ func FindPeaks(spectrum []float64, cfg PeakConfig) []Peak {
 			break
 		}
 	}
+	s.kept = out
 	return out
 }
 
@@ -131,16 +158,24 @@ func CircularBinDist(a, b, period float64) float64 { return circularDist(a, b, p
 // tens of colliding users the peak bins are a vanishing fraction of a padded
 // spectrum.
 func NoiseFloor(spectrum []float64) float64 {
+	return NoiseFloorScratch(spectrum, nil)
+}
+
+// NoiseFloorScratch is NoiseFloor with a caller-supplied scratch buffer (of
+// capacity >= len(spectrum); allocated when too small) so that hot paths pay
+// neither the defensive copy nor the former full sort: the median is found
+// by quickselect over the scratch copy, yielding exactly the value NoiseFloor
+// has always returned at a fraction of the cost. spectrum is not modified.
+func NoiseFloorScratch(spectrum, scratch []float64) float64 {
 	if len(spectrum) == 0 {
 		return 0
 	}
-	tmp := append([]float64(nil), spectrum...)
-	sort.Float64s(tmp)
-	mid := len(tmp) / 2
-	if len(tmp)%2 == 1 {
-		return tmp[mid]
+	if cap(scratch) < len(spectrum) {
+		scratch = make([]float64, len(spectrum))
 	}
-	return 0.5 * (tmp[mid-1] + tmp[mid])
+	tmp := scratch[:len(spectrum)]
+	copy(tmp, spectrum)
+	return MedianInPlace(tmp)
 }
 
 // FracDiff returns the signed smallest difference between two fractional bin

@@ -1,0 +1,297 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+// decoderTransformShapes enumerates every (symbol size, padded size)
+// combination the Choir decoder can request: SF7..SF12 symbol sizes crossed
+// with the padding factors exercised by configs and ablations (4, 8, 10, 16;
+// the FFT length is the next power of two of pad*n).
+func decoderTransformShapes() [][2]int {
+	var shapes [][2]int
+	for sf := 7; sf <= 12; sf++ {
+		n := 1 << sf
+		for _, pad := range []int{4, 8, 10, 16} {
+			shapes = append(shapes, [2]int{n, NextPow2(pad * n)})
+		}
+	}
+	return shapes
+}
+
+func randomSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestTransformPrunedMatchesFull is the property test of the pruning
+// optimization: prunedFFT(x ++ zeros) == Transform(x ++ zeros) to 1e-12
+// across all SF/pad combinations the decoder uses.
+func TestTransformPrunedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0xF0F0))
+	for _, shape := range decoderTransformShapes() {
+		m, n := shape[0], shape[1]
+		f := NewFFT(n)
+		x := randomSignal(rng, m)
+
+		padded := make([]complex128, n)
+		copy(padded, x)
+		want := f.Transform(nil, padded)
+		got := f.TransformPruned(nil, x)
+
+		scale := 0.0
+		for _, v := range want {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-12*scale {
+				t.Fatalf("m=%d n=%d: bin %d differs by %g (|want|max=%g)", m, n, k, d, scale)
+			}
+		}
+	}
+}
+
+// TestTransformPrunedBitIdentical asserts the stronger property the golden
+// traces rely on: for the decoder's power-of-two input lengths the pruned
+// transform is bit-for-bit the full transform of the zero-padded input (the
+// skipped butterflies only ever add exact zeros).
+func TestTransformPrunedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0xBEEF))
+	for _, shape := range decoderTransformShapes() {
+		m, n := shape[0], shape[1]
+		f := NewFFT(n)
+		x := randomSignal(rng, m)
+
+		padded := make([]complex128, n)
+		copy(padded, x)
+		want := f.Transform(nil, padded)
+		got := f.TransformPruned(nil, x)
+		for k := range want {
+			if real(got[k]) != real(want[k]) || imag(got[k]) != imag(want[k]) {
+				t.Fatalf("m=%d n=%d: bin %d = %v, want %v (bit mismatch)", m, n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestTransformPrunedNonPow2Input covers the virtual-padding path: input
+// lengths that are not a power of two are padded up before pruning.
+func TestTransformPrunedNonPow2Input(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0x1234))
+	for _, m := range []int{1, 3, 5, 100, 129, 1000} {
+		n := NextPow2(16 * m)
+		f := NewFFT(n)
+		x := randomSignal(rng, m)
+		padded := make([]complex128, n)
+		copy(padded, x)
+		want := f.Transform(nil, padded)
+		got := f.TransformPruned(nil, x)
+		scale := 0.0
+		for _, v := range want {
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-12*scale {
+				t.Fatalf("m=%d n=%d: bin %d differs by %g", m, n, k, d)
+			}
+		}
+	}
+}
+
+// TestTransformPrunedFullLength checks the degenerate no-padding case
+// delegates to the plain transform.
+func TestTransformPrunedFullLength(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0x5678))
+	f := NewFFT(256)
+	x := randomSignal(rng, 256)
+	want := f.Transform(nil, x)
+	got := f.TransformPruned(nil, x)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("bin %d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestSpectrumIntoMatchesPaddedSpectrum pins the compatibility contract the
+// decoder migration relies on: SpectrumInto through a reused plan equals
+// PaddedSpectrum bit-for-bit.
+func TestSpectrumIntoMatchesPaddedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 0x9999))
+	for _, m := range []int{128, 256} {
+		for _, pad := range []int{4, 10, 16} {
+			x := randomSignal(rng, m)
+			want := PaddedSpectrum(x, pad)
+			n := NextPow2(pad * m)
+			f := NewFFT(n)
+			spec := make([]complex128, n)
+			dst := make([]float64, n)
+			got := f.SpectrumInto(dst, spec, x)
+			if &got[0] != &dst[0] {
+				t.Fatal("SpectrumInto did not reuse dst")
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("m=%d pad=%d: bin %d = %g, want %g", m, pad, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestMedianInPlaceMatchesMedian cross-checks quickselect against the
+// sort-based median on random and adversarial inputs.
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 0xAAAA))
+	check := func(xs []float64) {
+		t.Helper()
+		want := Median(xs)
+		tmp := append([]float64(nil), xs...)
+		got := MedianInPlace(tmp)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("MedianInPlace=%g, Median=%g for %v", got, want, xs)
+		}
+	}
+	check([]float64{1})
+	check([]float64{2, 1})
+	check([]float64{3, 3, 3, 3})
+	check([]float64{5, 4, 3, 2, 1, 0})
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(257)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Heavy duplication stresses the three-way partition.
+			xs[i] = float64(rng.IntN(8))
+		}
+		check(xs)
+	}
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 2048)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64()
+		}
+		check(xs)
+	}
+}
+
+// TestNoiseFloorScratchMatches pins that the scratch variant returns exactly
+// NoiseFloor's value and leaves the spectrum untouched.
+func TestNoiseFloorScratchMatches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 0xBBBB))
+	spec := make([]float64, 1023)
+	for i := range spec {
+		spec[i] = rng.ExpFloat64()
+	}
+	orig := append([]float64(nil), spec...)
+	scratch := make([]float64, len(spec))
+	want := NoiseFloor(spec)
+	got := NoiseFloorScratch(spec, scratch)
+	if got != want {
+		t.Fatalf("NoiseFloorScratch=%g, NoiseFloor=%g", got, want)
+	}
+	for i := range spec {
+		if spec[i] != orig[i] {
+			t.Fatal("NoiseFloorScratch mutated its input")
+		}
+	}
+}
+
+// TestFindPeaksScratchMatches pins that the scratch variant reports exactly
+// FindPeaks' peaks and reuses its buffers across calls.
+func TestFindPeaksScratchMatches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 0xCCCC))
+	spec := make([]float64, 2048)
+	for i := range spec {
+		spec[i] = rng.ExpFloat64()
+	}
+	spec[100], spec[700], spec[1500] = 50, 40, 30
+	cfg := PeakConfig{Pad: 16, MinSeparation: 0.9, Threshold: 5, Max: 8}
+	want := FindPeaks(spec, cfg)
+	var s PeakScratch
+	for round := 0; round < 3; round++ {
+		got := FindPeaksScratch(&s, spec, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d peaks, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: peak %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// --- FFT kernel benchmarks (pinned by cmd/choir-bench) ---
+
+func benchInput(m int) []complex128 {
+	rng := rand.New(rand.NewPCG(31, 0xDDDD))
+	return randomSignal(rng, m)
+}
+
+func BenchmarkFFTFullPadded(b *testing.B) {
+	// The pre-optimization decoder hot path: zero a padded buffer, copy the
+	// symbol in, run the full transform.
+	m, n := 128, 2048
+	f := NewFFT(n)
+	x := benchInput(m)
+	padded := make([]complex128, n)
+	dst := make([]complex128, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range padded {
+			padded[j] = 0
+		}
+		copy(padded, x)
+		f.Transform(dst, padded)
+	}
+}
+
+func BenchmarkFFTPruned(b *testing.B) {
+	m, n := 128, 2048
+	f := NewFFT(n)
+	x := benchInput(m)
+	dst := make([]complex128, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TransformPruned(dst, x)
+	}
+}
+
+func BenchmarkSpectrumInto(b *testing.B) {
+	m, n := 128, 2048
+	f := NewFFT(n)
+	x := benchInput(m)
+	spec := make([]complex128, n)
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SpectrumInto(dst, spec, x)
+	}
+}
+
+func BenchmarkNoiseFloorScratch(b *testing.B) {
+	rng := rand.New(rand.NewPCG(37, 0xEEEE))
+	spec := make([]float64, 2048)
+	for i := range spec {
+		spec[i] = rng.ExpFloat64()
+	}
+	scratch := make([]float64, len(spec))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NoiseFloorScratch(spec, scratch)
+	}
+}

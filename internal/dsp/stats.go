@@ -49,12 +49,77 @@ func Median(xs []float64) float64 {
 		return 0
 	}
 	tmp := append([]float64(nil), xs...)
-	sort.Float64s(tmp)
-	mid := len(tmp) / 2
-	if len(tmp)%2 == 1 {
-		return tmp[mid]
+	return MedianInPlace(tmp)
+}
+
+// MedianInPlace returns the median of xs, reordering xs in the process. The
+// value is identical to Median's — the same order statistics, found by
+// quickselect instead of a full sort — but costs O(n) instead of O(n log n)
+// and allocates nothing. The decoder's noise-floor estimate runs this on a
+// scratch copy of every magnitude spectrum it inspects.
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
 	}
-	return 0.5 * (tmp[mid-1] + tmp[mid])
+	mid := len(xs) / 2
+	m := quickselect(xs, mid)
+	if len(xs)%2 == 1 {
+		return m
+	}
+	// Even length: the lower middle element is the maximum of the left
+	// partition quickselect leaves behind.
+	lo := xs[0]
+	for _, x := range xs[:mid] {
+		if x > lo {
+			lo = x
+		}
+	}
+	return 0.5 * (lo + m)
+}
+
+// quickselect reorders xs so that xs[k] holds its k-th order statistic
+// (everything before it <=, everything after >=) and returns it.
+// Median-of-three pivoting keeps the recursion shallow on the
+// nearly-flat-with-spikes spectra the decoder feeds it; the loop is fully
+// deterministic.
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot of lo, mid, hi.
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using linear

@@ -1,0 +1,154 @@
+package linalg
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Workspace holds reusable storage for the allocation-free solver variants.
+// A Workspace is owned by exactly one goroutine (in the decoder, one per
+// pooled Decoder); its buffers grow to the largest problem seen and are then
+// reused verbatim. Results returned by *Into methods alias the workspace and
+// stay valid only until the next call on the same workspace.
+//
+// The *Into variants perform bit-for-bit the same floating-point operations
+// in the same order as their allocating counterparts — the golden-trace
+// fixtures depend on this — so any change here must preserve operation order
+// exactly.
+type Workspace struct {
+	design Matrix // caller-built design matrix (DesignMatrix)
+	ah     Matrix // Aᴴ
+	ata    Matrix // AᴴA, then its LU factors (eliminated in place)
+	atb    []complex128
+	x      []complex128
+}
+
+// reuse shapes m to rows×cols backed by its (grown) existing storage.
+func reuse(m *Matrix, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	if cap(m.Data) < rows*cols {
+		m.Data = make([]complex128, rows*cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+	return m
+}
+
+func reuseVec(v []complex128, n int) []complex128 {
+	if cap(v) < n {
+		return make([]complex128, n)
+	}
+	return v[:n]
+}
+
+// DesignMatrix returns a zeroed rows×cols matrix backed by the workspace for
+// callers to fill before LeastSquaresInto. It stays valid through the solve
+// (the solver uses separate storage) but is clobbered by the next
+// DesignMatrix call.
+func (w *Workspace) DesignMatrix(rows, cols int) *Matrix {
+	m := reuse(&w.design, rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// LeastSquaresInto is LeastSquares using workspace storage: it solves
+// min_x ||A·x − b||₂ via the normal equations with Tikhonov jitter,
+// allocating nothing once the workspace has grown. The returned solution
+// aliases the workspace and is valid until the next call.
+func (w *Workspace) LeastSquaresInto(a *Matrix, b []complex128) ([]complex128, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: LeastSquares requires rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: matrix is %dx%d but rhs has length %d", a.Rows, a.Cols, len(b))
+	}
+	// Aᴴ — same element order as Matrix.ConjTranspose.
+	ah := reuse(&w.ah, a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			ah.Set(j, i, cmplx.Conj(a.At(i, j)))
+		}
+	}
+	// AᴴA — same accumulation order as Matrix.Mul.
+	ata := reuse(&w.ata, ah.Rows, a.Cols)
+	for i := range ata.Data {
+		ata.Data[i] = 0
+	}
+	for i := 0; i < ah.Rows; i++ {
+		for k := 0; k < ah.Cols; k++ {
+			v := ah.At(i, k)
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < a.Cols; j++ {
+				ata.Data[i*ata.Cols+j] += v * a.At(k, j)
+			}
+		}
+	}
+	eps := complex(1e-12*matrixScale(ata), 0)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Data[i*ata.Cols+i] += eps
+	}
+	// Aᴴb — same loop as Matrix.MulVec.
+	atb := reuseVec(w.atb, ah.Rows)
+	w.atb = atb
+	for i := 0; i < ah.Rows; i++ {
+		var s complex128
+		row := ah.Data[i*ah.Cols : (i+1)*ah.Cols]
+		for j, v := range row {
+			s += v * b[j]
+		}
+		atb[i] = s
+	}
+	return w.solveInPlace(ata, atb)
+}
+
+// solveInPlace runs the same Gaussian elimination as Solve but destroys m
+// (which is already workspace scratch) instead of cloning it. The arithmetic
+// — pivot choice, elimination order, back substitution — is identical.
+func (w *Workspace) solveInPlace(m *Matrix, b []complex128) ([]complex128, error) {
+	n := m.Rows
+	x := reuseVec(w.x, n)
+	w.x = x
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		pivot, pmag := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(m.At(r, col)); mag > pmag {
+				pivot, pmag = r, mag
+			}
+		}
+		if pmag < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := m.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= factor * m.Data[col*n+j]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomTall(rng *rand.Rand, rows, cols int) (*Matrix, []complex128) {
+	a := NewMatrix(rows, cols)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b := make([]complex128, rows)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a, b
+}
+
+// TestLeastSquaresIntoBitIdentical pins the contract the golden traces rely
+// on: the workspace solver performs exactly the same floating-point
+// operations as LeastSquares, so results are bit-for-bit equal.
+func TestLeastSquaresIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 0x7777))
+	var w Workspace
+	for trial := 0; trial < 100; trial++ {
+		rows := 2 + rng.IntN(40)
+		cols := 1 + rng.IntN(rows)
+		a, b := randomTall(rng, rows, cols)
+		want, errWant := LeastSquares(a, b)
+		got, errGot := w.LeastSquaresInto(a, b)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if real(got[i]) != real(want[i]) || imag(got[i]) != imag(want[i]) {
+				t.Fatalf("trial %d (%dx%d): x[%d] = %v, want %v (bit mismatch)",
+					trial, rows, cols, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLeastSquaresIntoReuse exercises shrink/grow cycles on one workspace.
+func TestLeastSquaresIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 0x8888))
+	var w Workspace
+	for _, shape := range [][2]int{{30, 4}, {8, 2}, {64, 6}, {8, 2}, {3, 3}} {
+		a, b := randomTall(rng, shape[0], shape[1])
+		want, errWant := LeastSquares(a, b)
+		got, errGot := w.LeastSquaresInto(a, b)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("%v: error mismatch: %v vs %v", shape, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: x[%d] = %v, want %v", shape, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLeastSquaresIntoSingular checks the singular path matches.
+func TestLeastSquaresIntoSingular(t *testing.T) {
+	a := NewMatrix(4, 2) // all-zero columns → singular normal equations
+	b := make([]complex128, 4)
+	var w Workspace
+	if _, err := w.LeastSquaresInto(a, b); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+// TestDesignMatrixZeroed ensures reuse does not leak previous contents.
+func TestDesignMatrixZeroed(t *testing.T) {
+	var w Workspace
+	m := w.DesignMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = complex(1, 1)
+	}
+	m2 := w.DesignMatrix(2, 3)
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestLeastSquaresIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0x9999))
+	a, b := randomTall(rng, 32, 4)
+	var w Workspace
+	if _, err := w.LeastSquaresInto(a, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := w.LeastSquaresInto(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LeastSquaresInto allocates %.1f/op after warm-up, want 0", allocs)
+	}
+}

@@ -1,0 +1,76 @@
+package lora
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CodecScratch holds the working buffers of DecodeSymbolsInto so repeated
+// payload decodes allocate nothing once the buffers have grown. One scratch
+// belongs to one goroutine; the decoder keeps one per pooled Decoder.
+type CodecScratch struct {
+	cws     []uint16
+	nibbles []byte
+	buf     []byte
+}
+
+// DecodeSymbolsInto is DecodeSymbols writing the payload into dst (grown when
+// too small) and drawing all temporaries from s. It performs exactly the same
+// integer pipeline as DecodeSymbols — deinterleave, Hamming-correct,
+// dewhiten, CRC — so results, badCodewords counts and error values are
+// identical. The returned payload aliases dst's storage.
+func DecodeSymbolsInto(s *CodecScratch, dst []byte, syms []int, payloadLen int, p Params) (payload []byte, badCodewords int, err error) {
+	need := SymbolsPerPayload(payloadLen, p.SF, p.CR)
+	if len(syms) < need {
+		return nil, 0, fmt.Errorf("%w: have %d data symbols, need %d", ErrShortSignal, len(syms), need)
+	}
+	rows := int(p.SF)
+	cols := p.CR.CodewordBits()
+	if cap(s.cws) < rows {
+		s.cws = make([]uint16, rows)
+	}
+	cws := s.cws[:rows]
+	nibbles := s.nibbles[:0]
+	for start := 0; start+cols <= need; start += cols {
+		block := syms[start : start+cols]
+		for w := range cws {
+			cws[w] = 0
+		}
+		for b := 0; b < cols; b++ {
+			col := GrayDecode(block[b])
+			for w := 0; w < rows; w++ {
+				row := (w + b) % rows
+				bit := uint16(col>>row) & 1
+				cws[w] |= bit << b
+			}
+		}
+		for w := 0; w < rows; w++ {
+			nib, ok := hammingDecodeNibble(cws[w], p.CR)
+			nibbles = append(nibbles, nib)
+			if !ok {
+				badCodewords++
+			}
+		}
+	}
+	s.nibbles = nibbles
+
+	total := payloadLen + crcLen
+	if cap(s.buf) < total {
+		s.buf = make([]byte, total)
+	}
+	buf := s.buf[:total]
+	for i := 0; i < total; i++ {
+		buf[i] = nibbles[2*i] | nibbles[2*i+1]<<4
+	}
+	Whiten(buf)
+	if cap(dst) < payloadLen {
+		dst = make([]byte, payloadLen)
+	}
+	payload = dst[:payloadLen]
+	copy(payload, buf[:payloadLen])
+	wantCRC := binary.BigEndian.Uint16(buf[payloadLen:])
+	if CRC16(payload) != wantCRC {
+		return payload, badCodewords, ErrCRC
+	}
+	return payload, badCodewords, nil
+}

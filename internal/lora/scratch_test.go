@@ -1,0 +1,76 @@
+package lora
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestDecodeSymbolsIntoMatches pins DecodeSymbolsInto against DecodeSymbols
+// on round trips, corrupted streams and garbage across SF/CR combinations.
+func TestDecodeSymbolsIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 0x4444))
+	var s CodecScratch
+	var dst []byte
+	for _, sf := range []SpreadingFactor{SF7, SF9, SF12} {
+		for _, cr := range []CodeRate{CR45, CR48} {
+			p := Params{SF: sf, CR: cr, Bandwidth: 125e3, PreambleLen: 8, SFDLen: 2}
+			for trial := 0; trial < 30; trial++ {
+				payload := make([]byte, 1+rng.IntN(24))
+				for i := range payload {
+					payload[i] = byte(rng.IntN(256))
+				}
+				syms := EncodeSymbols(payload, p)
+				if trial%3 == 1 && len(syms) > 0 {
+					syms[rng.IntN(len(syms))] ^= 1 << rng.IntN(int(sf))
+				}
+				if trial%3 == 2 {
+					for i := range syms {
+						syms[i] = rng.IntN(1 << sf)
+					}
+				}
+				want, wantBad, wantErr := DecodeSymbols(syms, len(payload), p)
+				got, gotBad, gotErr := DecodeSymbolsInto(&s, dst, syms, len(payload), p)
+				dst = got[:0]
+				if !errors.Is(gotErr, wantErr) && !(gotErr == nil && wantErr == nil) {
+					t.Fatalf("sf=%d cr=%d: err %v, want %v", sf, cr, gotErr, wantErr)
+				}
+				if gotBad != wantBad {
+					t.Fatalf("sf=%d cr=%d: badCodewords %d, want %d", sf, cr, gotBad, wantBad)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("sf=%d cr=%d: payload %x, want %x", sf, cr, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSymbolsIntoShortStream(t *testing.T) {
+	p := DefaultParams()
+	syms := EncodeSymbols([]byte("hello"), p)
+	var s CodecScratch
+	if _, _, err := DecodeSymbolsInto(&s, nil, syms[:len(syms)-1], 5, p); !errors.Is(err, ErrShortSignal) {
+		t.Fatalf("err = %v, want ErrShortSignal", err)
+	}
+}
+
+func TestDecodeSymbolsIntoZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	payload := []byte("steady-state")
+	syms := EncodeSymbols(payload, p)
+	var s CodecScratch
+	dst := make([]byte, len(payload))
+	if _, _, err := DecodeSymbolsInto(&s, dst, syms, len(payload), p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := DecodeSymbolsInto(&s, dst, syms, len(payload), p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeSymbolsInto allocates %.1f/op after warm-up, want 0", allocs)
+	}
+}

@@ -60,11 +60,19 @@ type ModelReceiver struct {
 
 // Decode implements Receiver.
 func (m ModelReceiver) Decode(tx []NodeID, rng *rand.Rand) []NodeID {
+	return m.DecodeAppend(nil, tx, rng)
+}
+
+// DecodeAppend implements appendReceiver: it is Decode appending the decoded
+// nodes to dst instead of a fresh slice, so the slot loop can recycle one
+// buffer across millions of slots. The RNG draw sequence and results are
+// identical to Decode's.
+func (m ModelReceiver) DecodeAppend(dst []NodeID, tx []NodeID, rng *rand.Rand) []NodeID {
 	if len(m.Success) == 0 {
 		panic("mac: ModelReceiver with empty success table")
 	}
 	if len(tx) == 0 {
-		return nil
+		return dst
 	}
 	k := len(tx)
 	idx := k - 1
@@ -72,20 +80,20 @@ func (m ModelReceiver) Decode(tx []NodeID, rng *rand.Rand) []NodeID {
 		idx = len(m.Success) - 1
 	}
 	p := m.Success[idx]
-	var out []NodeID
+	base := len(dst)
 	for _, id := range tx {
 		if rng.Float64() < p {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
 	maxC := m.MaxConcurrent
 	if maxC == 0 {
 		maxC = len(m.Success)
 	}
-	if len(out) > maxC {
-		out = out[:maxC]
+	if len(dst)-base > maxC {
+		dst = dst[:base+maxC]
 	}
-	return out
+	return dst
 }
 
 // Capacity implements Receiver.
@@ -230,12 +238,48 @@ type packet struct {
 	arrivalSlot int
 }
 
-// node is one client's MAC state.
+// node is one client's MAC state. The queue is a head-indexed slice: pops
+// advance head instead of re-slicing, so the backing array's front capacity
+// is reclaimed (by compaction on push, or wholesale when the queue drains)
+// rather than leaked — with queue[1:] pops every node reallocated its queue
+// every QueueCap deliveries, which dominated the old slot loop's profile.
 type node struct {
 	queue      []packet
+	head       int
 	backoff    int // slots until allowed to transmit (ALOHA)
 	backoffExp int
 	attempts   int
+}
+
+// qlen returns the backlog length.
+func (n *node) qlen() int { return len(n.queue) - n.head }
+
+// push enqueues p, compacting the consumed front of the backing array before
+// growing it.
+func (n *node) push(p packet) {
+	if len(n.queue) == cap(n.queue) && n.head > 0 {
+		n.queue = n.queue[:copy(n.queue, n.queue[n.head:])]
+		n.head = 0
+	}
+	n.queue = append(n.queue, p)
+}
+
+// pop dequeues the oldest packet.
+func (n *node) pop() packet {
+	p := n.queue[n.head]
+	n.head++
+	if n.head == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.head = 0
+	}
+	return p
+}
+
+// appendReceiver is an optional Receiver extension: DecodeAppend appends the
+// decoded subset to dst, letting RunCtx reuse one buffer across slots. The
+// RNG draws and decoded set must match Decode's exactly.
+type appendReceiver interface {
+	DecodeAppend(dst []NodeID, tx []NodeID, rng *rand.Rand) []NodeID
 }
 
 // Run simulates the cell and returns aggregate metrics.
@@ -269,6 +313,17 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 	m := &Metrics{Slots: cfg.Slots, cfg: cfg}
 	prevTxCount := 0
 
+	// Per-slot working storage, hoisted out of the slot loop: the transmitter
+	// list, the decoded list (when the receiver supports DecodeAppend) and
+	// the delivered set — a bool-per-node table instead of a per-slot map,
+	// cleared at the end of each slot by walking decoded (O(delivered), not
+	// O(nodes)). The RNG draw sequence is untouched, so metrics are identical
+	// to the allocating loop's.
+	txBuf := make([]NodeID, 0, cfg.Nodes)
+	decodedBuf := make([]NodeID, 0, cfg.Nodes)
+	ok := make([]bool, cfg.Nodes)
+	apRx, hasAppend := rx.(appendReceiver)
+
 	for slot := 0; slot < cfg.Slots; slot++ {
 		if slot%ctxCheckInterval == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("mac: run canceled at slot %d/%d: %w", slot, cfg.Slots, ctx.Err())
@@ -276,8 +331,8 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		// Arrivals.
 		for i := range nodes {
 			if cfg.ArrivalPerSlot >= 1 || rng.Float64() < cfg.ArrivalPerSlot {
-				if len(nodes[i].queue) < cfg.QueueCap {
-					nodes[i].queue = append(nodes[i].queue, packet{arrivalSlot: slot})
+				if nodes[i].qlen() < cfg.QueueCap {
+					nodes[i].push(packet{arrivalSlot: slot})
 				} else {
 					m.Dropped++
 				}
@@ -285,12 +340,12 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		}
 
 		// Choose transmitters.
-		var tx []NodeID
+		tx := txBuf[:0]
 		switch cfg.Scheme {
 		case SchemeAloha:
 			for i := range nodes {
 				n := &nodes[i]
-				if len(n.queue) == 0 {
+				if n.qlen() == 0 {
 					continue
 				}
 				if n.backoff > 0 {
@@ -309,14 +364,14 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 			start := slot % cfg.Nodes
 			for k := 0; k < cfg.Nodes && len(tx) < capacity; k++ {
 				i := (start + k) % cfg.Nodes
-				if len(nodes[i].queue) > 0 {
+				if nodes[i].qlen() > 0 {
 					tx = append(tx, NodeID(i))
 				}
 			}
 		case SchemeChoir:
 			// Beacon-coordinated: every backlogged node answers the beacon.
 			for i := range nodes {
-				if len(nodes[i].queue) > 0 {
+				if nodes[i].qlen() > 0 {
 					tx = append(tx, NodeID(i))
 				}
 			}
@@ -325,8 +380,12 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		}
 
 		m.Transmissions += len(tx)
-		decoded := rx.Decode(tx, rng)
-		ok := make(map[NodeID]bool, len(decoded))
+		var decoded []NodeID
+		if hasAppend {
+			decoded = apRx.DecodeAppend(decodedBuf[:0], tx, rng)
+		} else {
+			decoded = rx.Decode(tx, rng)
+		}
 		for _, id := range decoded {
 			if cfg.Unslotted && cfg.Scheme == SchemeAloha {
 				// Pure ALOHA: neighbours in adjacent slots each overlap
@@ -350,8 +409,7 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		for _, id := range tx {
 			n := &nodes[id]
 			if ok[id] {
-				p := n.queue[0]
-				n.queue = n.queue[1:]
+				p := n.pop()
 				m.Delivered++
 				m.TotalLatencySlots += slot - p.arrivalSlot + 1
 				n.backoffExp = 0
@@ -365,6 +423,9 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 				n.backoff = rng.IntN(1 << n.backoffExp)
 				n.attempts++
 			}
+		}
+		for _, id := range decoded {
+			ok[id] = false
 		}
 	}
 	mRuns.Inc()
