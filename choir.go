@@ -31,6 +31,7 @@
 package choir
 
 import (
+	"choir/internal/backend"
 	"choir/internal/channel"
 	ichoir "choir/internal/choir"
 	"choir/internal/exec"
@@ -136,6 +137,36 @@ var (
 	// AntennaDiversityGain is the selection-diversity success model used by
 	// the Fig. 12 sweep.
 	AntennaDiversityGain = ichoir.AntennaDiversityGain
+)
+
+// Collision-resolution backends (package internal/backend): every decoding
+// strategy behind one interface, selected by registered name. The "choir"
+// backend is the reference decoder; alternatives trade fidelity for reach
+// (see DESIGN.md §13).
+type (
+	// Backend is one collision-resolution strategy: Name, Params, Reseed,
+	// and DecodeCtxInto against the shared decode-error taxonomy.
+	Backend = backend.Backend
+	// BackendPool lends out per-goroutine instances of one backend,
+	// reseeded on checkout so pooled reuse is deterministic.
+	BackendPool = backend.Pool
+)
+
+// Backend registry accessors and constructors.
+var (
+	// NewBackend builds a registered backend by name for a PHY
+	// configuration.
+	NewBackend = backend.New
+	// NewBackendPool validates the (name, PHY) pair and builds a pool.
+	NewBackendPool = backend.NewPool
+	// BackendNames returns every registered backend name, sorted.
+	BackendNames = backend.Names
+	// BackendRegistered reports whether a backend name is registered.
+	BackendRegistered = backend.Registered
+	// BackendDecode runs one backend over a capture with a fresh result.
+	BackendDecode = backend.Decode
+	// BackendDecodeCtx is BackendDecode bounded by a context.
+	BackendDecodeCtx = backend.DecodeCtx
 )
 
 // Hardware and channel models (packages internal/radio, internal/channel).
@@ -287,6 +318,15 @@ type (
 	E2EReport = sim.E2EReport
 	// FaultSweepConfig parameterizes the decode-robustness sweep.
 	FaultSweepConfig = sim.FaultSweepConfig
+	// CompareConfig parameterizes the head-to-head backend comparison.
+	CompareConfig = sim.CompareConfig
+	// CompareResult is the comparison output: one report per backend.
+	CompareResult = sim.CompareResult
+	// CompareFixture is one pre-rendered capture fed to every backend.
+	CompareFixture = sim.CompareFixture
+	// BackendReport aggregates one backend's goodput, error taxonomy, and
+	// latency over the comparison grid.
+	BackendReport = sim.BackendReport
 )
 
 // Experiment entry points, one per paper figure.
@@ -313,6 +353,12 @@ var (
 	// deterministically for any worker count.
 	FaultSweep        = sim.FaultSweep
 	DefaultFaultSweep = sim.DefaultFaultSweep
+	// CompareBackends decodes one capture grid — fixtures, synthesized
+	// collisions, and a fault sweep — with every configured backend and
+	// reports per-backend goodput, error taxonomy, and latency.
+	CompareBackends     = sim.Compare
+	DefaultCompare      = sim.DefaultCompare
+	LoadCompareFixtures = sim.LoadCompareFixtures
 )
 
 // Context-bounded experiment variants: identical results when the context
@@ -330,6 +376,7 @@ var (
 	ComputeHeadlineCtx = sim.ComputeHeadlineCtx
 	EndToEndCtx        = sim.EndToEndCtx
 	FaultSweepCtx      = sim.FaultSweepCtx
+	CompareBackendsCtx = sim.CompareCtx
 )
 
 // Metrics selectors for Fig8* experiments.
@@ -375,6 +422,9 @@ var (
 	GatewayIngestFiles = gateway.IngestFiles
 	// GatewayServeTCP accepts one EOF-delimited trace per TCP connection.
 	GatewayServeTCP = gateway.ServeTCP
+	// DefaultGatewayLadder returns the default decode-recovery ladder as an
+	// ordered list of registered backend names.
+	DefaultGatewayLadder = gateway.DefaultLadder
 
 	// ErrGatewayStopped reports a submit to a draining or stopped gateway.
 	ErrGatewayStopped = gateway.ErrStopped

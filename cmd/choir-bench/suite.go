@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
 	"choir"
+	"choir/internal/backend"
 	ichoir "choir/internal/choir"
 	"choir/internal/dsp"
 	"choir/internal/lora"
@@ -42,6 +44,7 @@ func suite() []benchmark {
 		{Name: "BenchmarkSpectrumInto", PinNs: true, PinAllocs: true, Fn: benchSpectrumInto},
 		{Name: "BenchmarkNoiseFloor", PinNs: true, PinAllocs: true, Fn: benchNoiseFloor},
 		{Name: "BenchmarkDecodeSteadyState", PinNs: true, PinAllocs: true, Fn: benchDecodeSteadyState},
+		{Name: "BenchmarkBackendDispatch", PinNs: true, PinAllocs: true, Fn: benchBackendDispatch},
 		{Name: "BenchmarkDecodeTwoUserCollision", PinNs: true, Fn: benchDecodeTwoUser},
 		{Name: "BenchmarkDecodeEightUserCollision", PinNs: true, Fn: benchDecodeEightUser},
 		{Name: "BenchmarkHeadline", PinNs: true, Fn: benchHeadline},
@@ -139,6 +142,29 @@ func benchDecodeSteadyState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dec.Reseed(ichoir.DefaultConfig(p).Seed)
 		if _, err := dec.DecodeInto(res, sig, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBackendDispatch is benchDecodeSteadyState driven through the
+// collision-resolution Backend interface instead of the concrete decoder:
+// same signal, same seeds, plus the registry dispatch, interface call, and
+// context polling. Pinned at zero allocs/op — the pluggable-backend layer
+// must not put the steady-state decode path back on the heap.
+func benchBackendDispatch(b *testing.B) {
+	sig, p := benchSignal(b, []float64{20, 15}, 9)
+	be := backend.MustNew("choir", p)
+	res := &ichoir.Result{}
+	ctx := context.Background()
+	if err := be.DecodeCtxInto(ctx, res, sig, 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.Reseed(ichoir.DefaultConfig(p).Seed)
+		if err := be.DecodeCtxInto(ctx, res, sig, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
-// Command choir-decode runs the Choir collision decoder over one or more IQ
-// trace files produced by choir-gen (or any tool emitting the internal/trace
-// format) and prints every separated user. With -team it runs the
+// Command choir-decode runs a Choir collision-resolution backend over one
+// or more IQ trace files produced by choir-gen (or any tool emitting the
+// internal/trace format) and prints every separated user. -backend selects
+// the strategy (default "choir", the reference decoder; see choir-decode
+// -help for the registered alternatives). With -team it runs the
 // below-noise team decoder of Sec. 7 instead. Multiple traces are decoded
 // concurrently across -workers goroutines — decoders are borrowed from a
 // per-PHY pool — and both reports and per-trace errors are emitted in
@@ -15,6 +17,7 @@
 // Usage:
 //
 //	choir-decode collision.iq
+//	choir-decode -backend superposed collision.iq
 //	choir-decode -team team.iq
 //	choir-decode -workers 4 night/*.iq
 //	choir-decode -fault interferer -fault-rate 0.3 collision.iq
@@ -64,6 +67,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("choir-decode", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	team := fs.Bool("team", false, "decode as a coordinated team transmission")
+	backendName := fs.String("backend", "choir", "collision-resolution backend: "+strings.Join(choir.BackendNames(), ", "))
 	workers := fs.Int("workers", 0, "concurrent trace decodes (0 = all CPUs, 1 = serial)")
 	faultClass := fs.String("fault", "", "inject a fault before decoding: clip, drop, interferer, drift, or truncate")
 	faultRate := fs.Float64("fault-rate", 0.3, "fault intensity in [0,1] for -fault")
@@ -80,6 +84,15 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	files := fs.Args()
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if !choir.BackendRegistered(*backendName) {
+		fmt.Fprintf(stderr, "choir-decode: unknown backend %q; one of %s\n",
+			*backendName, strings.Join(choir.BackendNames(), ", "))
+		return exitUsage
+	}
+	if *team && *backendName != "choir" {
+		fmt.Fprintln(stderr, "choir-decode: -team requires the choir backend (team decoding is not a collision backend)")
+		return exitUsage
 	}
 
 	dumpMetrics, stopDebug, err := obs.StartCLI(*metrics, *metricsOut, *debugAddr)
@@ -107,21 +120,37 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// One decoder pool per PHY configuration seen in the batch; traces
-	// recorded at different spreading factors each get their own.
+	// One pool per PHY configuration seen in the batch; traces recorded at
+	// different spreading factors each get their own. Collision decodes go
+	// through the selected backend; team decodes need the full reference
+	// decoder (team decoding is not part of the backend interface).
 	var mu sync.Mutex
-	pools := map[choir.PHYParams]*choir.DecoderPool{}
-	poolFor := func(p choir.PHYParams) (*choir.DecoderPool, error) {
+	pools := map[choir.PHYParams]*choir.BackendPool{}
+	poolFor := func(p choir.PHYParams) (*choir.BackendPool, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if pool, ok := pools[p]; ok {
+			return pool, nil
+		}
+		pool, err := choir.NewBackendPool(*backendName, p)
+		if err != nil {
+			return nil, err
+		}
+		pools[p] = pool
+		return pool, nil
+	}
+	teamPools := map[choir.PHYParams]*choir.DecoderPool{}
+	teamPoolFor := func(p choir.PHYParams) (*choir.DecoderPool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if pool, ok := teamPools[p]; ok {
 			return pool, nil
 		}
 		pool, err := choir.NewDecoderPool(choir.DefaultDecoderConfig(p))
 		if err != nil {
 			return nil, err
 		}
-		pools[p] = pool
+		teamPools[p] = pool
 		return pool, nil
 	}
 
@@ -134,7 +163,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	errs := make([]error, len(files))
 	done := make([]bool, len(files))
 	fanErr := choir.NewWorkerPool(*workers).ForEachCtx(ctx, len(files), func(i int) {
-		reports[i], errs[i] = decodeTrace(ctx, files[i], uint64(i), *team, inj, poolFor)
+		reports[i], errs[i] = decodeTrace(ctx, files[i], uint64(i), *team, inj, poolFor, teamPoolFor)
 		done[i] = true
 	})
 	exit := exitOK
@@ -164,10 +193,11 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 }
 
 // decodeTrace reads one trace, optionally corrupts it with inj, decodes it
-// with a pooled decoder, and returns the full report as a string so batch
-// output stays ordered. A canceled context surfaces as an error (the trace
-// was not decoded), unlike an ordinary failed decode which is a report.
-func decodeTrace(ctx context.Context, name string, index uint64, team bool, inj choir.FaultInjector, poolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
+// with a pooled backend (or the reference decoder for -team), and returns
+// the full report as a string so batch output stays ordered. A canceled
+// context surfaces as an error (the trace was not decoded), unlike an
+// ordinary failed decode which is a report.
+func decodeTrace(ctx context.Context, name string, index uint64, team bool, inj choir.FaultInjector, poolFor func(choir.PHYParams) (*choir.BackendPool, error), teamPoolFor func(choir.PHYParams) (*choir.DecoderPool, error)) (string, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return "", err
@@ -187,19 +217,18 @@ func decodeTrace(ctx context.Context, name string, index uint64, team bool, inj 
 			inj.Class(), inj.Intensity(), len(samples))
 	}
 
-	pool, err := poolFor(h.Params)
-	if err != nil {
-		return "", err
-	}
-	dec := pool.Get(choir.DeriveSeed(uint64(h.Params.SF), index))
-	defer pool.Put(dec)
-
 	truth := map[string]bool{}
 	for _, u := range h.Users {
 		truth[u] = true
 	}
 
 	if team {
+		pool, err := teamPoolFor(h.Params)
+		if err != nil {
+			return "", err
+		}
+		dec := pool.Get(choir.DeriveSeed(uint64(h.Params.SF), index))
+		defer pool.Put(dec)
 		res, err := dec.DecodeTeamCtx(ctx, samples, h.PayloadLen)
 		if err != nil {
 			if errors.Is(err, choir.ErrDecodeCanceled) || errors.Is(err, choir.ErrDecodeDeadline) {
@@ -222,7 +251,16 @@ func decodeTrace(ctx context.Context, name string, index uint64, team bool, inj 
 		return out.String(), nil
 	}
 
-	res, err := dec.DecodeCtx(ctx, samples, h.PayloadLen)
+	pool, err := poolFor(h.Params)
+	if err != nil {
+		return "", err
+	}
+	b := pool.Get(choir.DeriveSeed(uint64(h.Params.SF), index))
+	defer pool.Put(b)
+	if b.Name() != "choir" {
+		fmt.Fprintf(&out, "backend: %s\n", b.Name())
+	}
+	res, err := choir.BackendDecodeCtx(ctx, b, samples, h.PayloadLen)
 	if err != nil {
 		if errors.Is(err, choir.ErrDecodeCanceled) || errors.Is(err, choir.ErrDecodeDeadline) {
 			return "", err

@@ -1,11 +1,13 @@
 // Command choir-gatewayd is the long-running Choir gateway service: a
 // resilient decode pipeline that accepts IQ captures from trace files,
 // directories, or a TCP ingest socket, queues them behind an explicit
-// backpressure policy, and decodes each one through the recovery ladder
-// (full SIC -> relaxed tunables -> single-strongest-user fallback) with
-// per-stage circuit breakers and seeded retry backoff. Every accepted
-// frame gets exactly one terminal outcome line on stdout: decoded, failed
-// with a typed error, or shed.
+// backpressure policy, and decodes each one through the recovery ladder —
+// an ordered list of collision-resolution backends, by default
+// choir -> relaxed -> strongest — with per-rung circuit breakers and
+// seeded retry backoff. -ladder reorders or replaces the rungs; -backend
+// pins a single backend with no fallback. Every accepted frame gets
+// exactly one terminal outcome line on stdout: decoded (naming the
+// backend that succeeded), failed with a typed error, or shed.
 //
 // TCP ingest carries one EOF-delimited trace per connection: the sender
 // writes the trace, half-closes its write side, and reads a one-line
@@ -17,6 +19,8 @@
 //	choir-gatewayd -listen :7373
 //	choir-gatewayd -listen :7373 -queue 128 -shed-policy drop-oldest
 //	choir-gatewayd -decode-timeout 2s -max-retries 2 captures/
+//	choir-gatewayd -ladder superposed,strongest night/*.iq
+//	choir-gatewayd -backend slotshift night/*.iq
 //	choir-gatewayd -metrics -debug-addr localhost:6060 -listen :7373
 //
 // SIGINT/SIGTERM stop ingest and drain the queue gracefully (bounded by
@@ -32,9 +36,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"choir/internal/backend"
 	"choir/internal/gateway"
 	"choir/internal/obs"
 )
@@ -70,6 +76,8 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	breakerThreshold := fs.Int("breaker-threshold", 8, "consecutive failures that trip a stage's circuit breaker (<= 0 disables)")
 	breakerCooldown := fs.Int("breaker-cooldown", 16, "skipped attempts before a tripped breaker half-opens")
 	seed := fs.Uint64("seed", 1, "gateway seed; outcomes are a pure function of (seed, frame ID, stage)")
+	backendName := fs.String("backend", "", "decode with a single collision-resolution backend (one of "+strings.Join(backend.Names(), ", ")+") instead of the recovery ladder")
+	ladder := fs.String("ladder", "", "comma-separated backend names forming the recovery ladder (default "+strings.Join(gateway.DefaultLadder(), ",")+")")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown before queued frames are shed")
 	metrics := fs.Bool("metrics", false, "record gateway metrics and dump a JSON snapshot at exit")
 	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
@@ -89,6 +97,17 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	if *maxRetries < 0 {
 		fmt.Fprintln(stderr, "choir-gatewayd: -max-retries must be >= 0")
 		return exitUsage
+	}
+	if *backendName != "" && *ladder != "" {
+		fmt.Fprintln(stderr, "choir-gatewayd: -backend and -ladder are mutually exclusive")
+		return exitUsage
+	}
+	var rungs []string
+	switch {
+	case *backendName != "":
+		rungs = []string{*backendName}
+	case *ladder != "":
+		rungs = strings.Split(*ladder, ",")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -116,6 +135,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Seed:             *seed,
+		Ladder:           rungs,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "choir-gatewayd:", err)
@@ -191,8 +211,8 @@ func drain(g *gateway.Gateway, budget time.Duration, stderr io.Writer) {
 func printOutcome(w io.Writer, o gateway.Outcome) {
 	switch o.Kind {
 	case gateway.OutcomeDecoded:
-		fmt.Fprintf(w, "frame %d (%s): decoded %d payload(s) of %d user(s) at stage %s, attempt %d:",
-			o.FrameID, o.Source, len(o.Payloads), o.Users, o.Stage, o.Attempts)
+		fmt.Fprintf(w, "frame %d (%s): decoded %d payload(s) of %d user(s) by backend %s (rung %d), attempt %d:",
+			o.FrameID, o.Source, len(o.Payloads), o.Users, o.Backend, int(o.Stage), o.Attempts)
 		for _, p := range o.Payloads {
 			fmt.Fprintf(w, " %x", p)
 		}

@@ -7,6 +7,9 @@
 //	choir-sim -exp all                # everything (slow with -calibrate)
 //	choir-sim -exp fig8d -calibrate   # drive Choir with IQ-level Monte-Carlo
 //	choir-sim -exp faultsweep -fault drop -fault-rate 0.4
+//	choir-sim -compare-backends       # head-to-head backend comparison
+//	choir-sim -compare-backends -backends choir,superposed \
+//	    -fixtures 'internal/choir/testdata/golden/*.iq'
 //
 // Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
 // fig11a fig11b fig12 e2e faultsweep headline all
@@ -24,6 +27,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"choir"
@@ -59,6 +63,10 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
 	faultClass := fs.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
 	faultRate := fs.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
+	compare := fs.Bool("compare-backends", false, "run the head-to-head backend comparison instead of -exp")
+	backends := fs.String("backends", "", "comma-separated backend names for -compare-backends (default: every registered backend)")
+	fixtureGlob := fs.String("fixtures", "", "trace glob fed to every backend in -compare-backends (e.g. 'internal/choir/testdata/golden/*.iq')")
+	compareTrials := fs.Int("trials", 0, "synthesized clean collisions per backend for -compare-backends (0 = the default comparison grid)")
 	metrics := fs.Bool("metrics", false, "record decode/MAC metrics and dump a JSON snapshot at exit")
 	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
@@ -82,6 +90,37 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "choir-sim: metrics dump:", err)
 		}
 	}()
+
+	if *compare {
+		ccfg := choir.DefaultCompare()
+		ccfg.Seed = *seed
+		ccfg.Workers = *workers
+		if *backends != "" {
+			ccfg.Backends = strings.Split(*backends, ",")
+		}
+		if *compareTrials > 0 {
+			ccfg.Trials = *compareTrials
+		}
+		if *fixtureGlob != "" {
+			fixtures, err := choir.LoadCompareFixtures(*fixtureGlob)
+			if err != nil {
+				fmt.Fprintln(stderr, "choir-sim:", err)
+				return exitFailed
+			}
+			ccfg.Fixtures = fixtures
+		}
+		res, err := choir.CompareBackendsCtx(ctx, ccfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(stderr, "choir-sim: comparison interrupted: %v\n", err)
+				return exitInterrupted
+			}
+			fmt.Fprintln(stderr, "choir-sim:", err)
+			return exitFailed
+		}
+		res.Fprint(stdout)
+		return exitOK
+	}
 
 	cfg := choir.DefaultFig8()
 	cfg.Slots = *slots

@@ -1,0 +1,80 @@
+package backend
+
+import (
+	"sync"
+
+	"choir/internal/lora"
+)
+
+// Pool amortizes backend construction (FFT plans, chirp tables, scratch)
+// across the trials of a parallel sweep, mirroring exec.DecoderPool: a
+// Backend is not safe for concurrent use, so the pool hands each goroutine
+// exclusive ownership of one instance between Get and Put, and Get reseeds
+// so results depend only on the caller's derived seed — never on which
+// goroutine previously used the instance.
+type Pool struct {
+	name string
+	p    lora.Params
+	mu   sync.Mutex
+	free []Backend
+}
+
+// NewPool validates (name, p) by building the first backend and returns a
+// pool that clones it on demand.
+func NewPool(name string, p lora.Params) (*Pool, error) {
+	b, err := New(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{name: name, p: p, free: []Backend{b}}, nil
+}
+
+// MustNewPool is NewPool that panics on error.
+func MustNewPool(name string, p lora.Params) *Pool {
+	pl, err := NewPool(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Name returns the pool's backend name.
+func (pl *Pool) Name() string { return pl.name }
+
+// Params returns the PHY configuration shared by the pool's backends.
+func (pl *Pool) Params() lora.Params { return pl.p }
+
+// Get checks a backend out of the pool, reseeded to the deterministic state
+// construction would produce for seed. The caller owns it until Put.
+func (pl *Pool) Get(seed uint64) Backend {
+	pl.mu.Lock()
+	var b Backend
+	if n := len(pl.free); n > 0 {
+		b, pl.free = pl.free[n-1], pl.free[:n-1]
+	}
+	pl.mu.Unlock()
+	if b == nil {
+		// (name, p) was validated by NewPool; construction cannot fail.
+		b = MustNew(pl.name, pl.p)
+	}
+	b.Reseed(seed)
+	return b
+}
+
+// Put returns a backend to the pool for reuse.
+func (pl *Pool) Put(b Backend) {
+	if b == nil {
+		return
+	}
+	pl.mu.Lock()
+	pl.free = append(pl.free, b)
+	pl.mu.Unlock()
+}
+
+// With checks a backend out for the duration of fn — the common trial-body
+// shape.
+func (pl *Pool) With(seed uint64, fn func(b Backend)) {
+	b := pl.Get(seed)
+	defer pl.Put(b)
+	fn(b)
+}

@@ -1,0 +1,81 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"choir/internal/lora"
+)
+
+// Factory builds one backend instance for one PHY configuration. Factories
+// must be cheap enough to call per worker (construction cost is amortized by
+// Pool, not by the factory).
+type Factory func(p lora.Params) (Backend, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a named backend factory. It panics on a duplicate or empty
+// name — registration happens in init functions, where a collision is a
+// programming error, not a runtime condition.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("backend: Register with empty name or nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	factories[name] = f
+}
+
+// New builds the named backend for the given PHY configuration.
+func New(name string, p lora.Params) (Backend, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (registered: %v)", name, Names())
+	}
+	b, err := f(p)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %s: %w", name, err)
+	}
+	return b, nil
+}
+
+// MustNew is New that panics on error, for call sites whose name and
+// parameters are known valid.
+func MustNew(name string, p lora.Params) Backend {
+	b, err := New(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Registered reports whether name is a known backend.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := factories[name]
+	return ok
+}
+
+// Names returns every registered backend name in sorted order — the
+// stable iteration order used by the comparison harness, the CLI help
+// strings, and the per-backend CI matrix.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -369,6 +369,18 @@ func (d *Decoder) DecodeCtx(ctx context.Context, samples []complex128, payloadLe
 	return res, nil
 }
 
+// DecodeCtxInto combines DecodeCtx's cooperative cancellation with
+// DecodeInto's storage recycling: res is fully overwritten on success and
+// left untouched by the caller's next reuse on failure. It is the
+// lowest-level decode entry point — backends that pool decoders and Results
+// together call it to keep the steady state allocation-free.
+func (d *Decoder) DecodeCtxInto(ctx context.Context, res *Result, samples []complex128, payloadLen int) error {
+	if res == nil {
+		return fmt.Errorf("choir: DecodeCtxInto with nil Result")
+	}
+	return d.decodeCtxInto(ctx, res, samples, payloadLen)
+}
+
 // decodeCtxInto runs the decode pipeline, filling res (whose storage it
 // recycles when present).
 func (d *Decoder) decodeCtxInto(ctx context.Context, res *Result, samples []complex128, payloadLen int) error {

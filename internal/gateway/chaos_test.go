@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,12 +19,26 @@ import (
 	"choir/internal/trace"
 )
 
+// chaosLadder returns the decode ladder for the chaos soak. CI soaks every
+// registered backend individually by setting CHOIR_CHAOS_LADDER to a
+// comma-separated rung list (e.g. "superposed" or "slotshift,strongest");
+// unset, the soak runs the default ladder.
+func chaosLadder(t *testing.T) []string {
+	v := os.Getenv("CHOIR_CHAOS_LADDER")
+	if v == "" {
+		return nil // Config default
+	}
+	ladder := strings.Split(v, ",")
+	t.Logf("chaos ladder from CHOIR_CHAOS_LADDER: %v", ladder)
+	return ladder
+}
+
 // TestChaosGatewaySmoke is the chaos soak: golden fixtures corrupted by a
 // fault chain, deliberately malformed frames, a tiny queue under
 // drop-oldest shedding, and a mid-run hard stop. The gateway must survive
 // with zero panics, account for every accepted frame with exactly one
 // terminal outcome, surface only taxonomy-typed errors, and leak no
-// goroutines.
+// goroutines — whatever backend ladder it runs (see chaosLadder).
 func TestChaosGatewaySmoke(t *testing.T) {
 	// Load the golden fixtures up front so fixture I/O is outside the
 	// goroutine baseline.
@@ -67,6 +82,7 @@ func TestChaosGatewaySmoke(t *testing.T) {
 		DecodeTimeout:    5 * time.Second,
 		BreakerThreshold: 4,
 		BreakerCooldown:  3,
+		Ladder:           chaosLadder(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,8 +1,9 @@
 // Package gateway is the resilient long-running service wrapper around the
-// Choir collision decoder: a bounded ingest queue with explicit
+// Choir collision decoders: a bounded ingest queue with explicit
 // backpressure and load-shedding policies, a pool of decode workers with
-// panic isolation, a decode-recovery ladder (full SIC → relaxed tunables →
-// single-strongest-user) with seeded backoff and per-stage circuit
+// panic isolation, a decode-recovery ladder of pluggable collision-
+// resolution backends (default: full SIC → relaxed tunables →
+// single-strongest-user) with seeded backoff and per-rung circuit
 // breakers, and a graceful drain-then-stop shutdown.
 //
 // The contract the chaos tests pin: every frame the gateway accepts
@@ -17,11 +18,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"choir/internal/exec"
+	"choir/internal/backend"
 	"choir/internal/lora"
 	"choir/internal/trace"
 )
@@ -51,9 +53,15 @@ type Config struct {
 	// BreakerCooldown is how many skipped attempts a tripped breaker waits
 	// before letting a half-open probe through (default 16).
 	BreakerCooldown int
+	// Ladder is the ordered list of registered backend names the recovery
+	// ladder walks, highest fidelity first (default DefaultLadder():
+	// choir, relaxed, strongest). Names must be registered in
+	// internal/backend and unique within the ladder; each rung gets its own
+	// circuit breaker and name-keyed metrics.
+	Ladder []string
 	// Seed drives decoder reseeding and backoff jitter. Decode outcomes
-	// depend only on (Seed, frame ID, stage) — never on timing or worker
-	// count.
+	// depend only on (Seed, frame ID, rung index) — never on timing or
+	// worker count.
 	Seed uint64
 }
 
@@ -76,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 16
+	}
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder()
 	}
 	return c
 }
@@ -128,9 +139,12 @@ type Outcome struct {
 	FrameID uint64
 	Source  string
 	Kind    OutcomeKind
-	// Stage is the ladder rung that produced a decode (valid when Kind is
-	// OutcomeDecoded).
+	// Stage is the index of the ladder rung that produced a decode (valid
+	// when Kind is OutcomeDecoded).
 	Stage Stage
+	// Backend is the name of the collision-resolution backend that produced
+	// the decode (valid when Kind is OutcomeDecoded).
+	Backend string
 	// Attempts is how many decode attempts ran (0 for shed frames).
 	Attempts int
 	// Users is the number of transmitters the successful decode separated.
@@ -173,9 +187,9 @@ type Gateway struct {
 	nextID  atomic.Uint64
 
 	poolMu sync.Mutex
-	pools  map[poolKey]*exec.DecoderPool
+	pools  map[poolKey]*backend.Pool
 
-	breakers [numStages]*breaker
+	rungs []*rung
 
 	accepted, decoded, failed, shed, recovered atomic.Int64
 
@@ -183,11 +197,11 @@ type Gateway struct {
 	drainErr  error
 }
 
-// poolKey identifies a decoder pool: one per (PHY, ladder rung) pair seen
+// poolKey identifies a backend pool: one per (PHY, backend name) pair seen
 // in the traffic.
 type poolKey struct {
-	params lora.Params
-	stage  Stage
+	params  lora.Params
+	backend string
 }
 
 // New validates cfg, starts the worker pool, and returns a running
@@ -208,6 +222,17 @@ func build(cfg Config) (*Gateway, error) {
 	if _, err := ParseShedPolicy(cfg.Policy.String()); err != nil {
 		return nil, fmt.Errorf("gateway: invalid shed policy %d", int(cfg.Policy))
 	}
+	seen := map[string]bool{}
+	for _, name := range cfg.Ladder {
+		if !backend.Registered(name) {
+			return nil, fmt.Errorf("gateway: unknown backend %q in ladder (registered: %s)",
+				name, strings.Join(backend.Names(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("gateway: backend %q appears twice in ladder", name)
+		}
+		seen[name] = true
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	g := &Gateway{
 		cfg:       cfg,
@@ -218,10 +243,10 @@ func build(cfg Config) (*Gateway, error) {
 		cancel:    cancel,
 		accepting: true,
 		idle:      make(chan struct{}, 1),
-		pools:     map[poolKey]*exec.DecoderPool{},
+		pools:     map[poolKey]*backend.Pool{},
 	}
-	for s := range g.breakers {
-		g.breakers[s] = &breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
+	for _, name := range cfg.Ladder {
+		g.rungs = append(g.rungs, newRung(name, cfg.BreakerThreshold, cfg.BreakerCooldown))
 	}
 	return g, nil
 }
@@ -433,23 +458,33 @@ func (g *Gateway) Drain(ctx context.Context) error {
 	return g.drainErr
 }
 
-// poolFor returns the decoder pool for one (PHY, stage) pair, building it
-// on first use.
-func (g *Gateway) poolFor(p lora.Params, stage Stage) (*exec.DecoderPool, error) {
-	key := poolKey{params: p, stage: stage}
+// poolFor returns the backend pool for one (PHY, backend name) pair,
+// building it on first use.
+func (g *Gateway) poolFor(p lora.Params, name string) (*backend.Pool, error) {
+	key := poolKey{params: p, backend: name}
 	g.poolMu.Lock()
 	defer g.poolMu.Unlock()
 	if pool, ok := g.pools[key]; ok {
 		return pool, nil
 	}
-	pool, err := exec.NewDecoderPool(stageConfig(stage, p))
+	pool, err := backend.NewPool(name, p)
 	if err != nil {
-		return nil, fmt.Errorf("gateway: building %s-stage decoder for %v: %w", stage, p.SF, err)
+		return nil, fmt.Errorf("gateway: building %s backend for %v: %w", name, p.SF, err)
 	}
 	g.pools[key] = pool
 	return pool, nil
 }
 
-// breakerTripped reports whether the given stage's circuit breaker is
+// Ladder returns the gateway's configured ladder as backend names in rung
+// order.
+func (g *Gateway) Ladder() []string {
+	names := make([]string, len(g.rungs))
+	for i, r := range g.rungs {
+		names[i] = r.name
+	}
+	return names
+}
+
+// breakerTripped reports whether the given rung's circuit breaker is
 // currently open — for tests and the daemon's status logging.
-func (g *Gateway) breakerTripped(stage Stage) bool { return g.breakers[stage].isTripped() }
+func (g *Gateway) breakerTripped(stage Stage) bool { return g.rungs[stage].breaker.isTripped() }

@@ -164,9 +164,6 @@ func TestSubmitAfterDrainStopped(t *testing.T) {
 func TestLadderRecoversDriftedFrame(t *testing.T) {
 	obs.Enable()
 	defer obs.Disable()
-	fullBefore := mStageAttempts[StageFull].Value()
-	relaxedBefore := mStageSuccess[StageRelaxed].Value()
-	recoveredBefore := mRecovered.Value()
 
 	h, sig, truth := synthFrame(1)
 	inj := fault.MustNew(fault.DriftStep, 0.30)
@@ -176,6 +173,15 @@ func TestLadderRecoversDriftedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := fmt.Sprint(g.Ladder()); got != fmt.Sprint(DefaultLadder()) {
+		t.Fatalf("default ladder = %s, want %s", got, fmt.Sprint(DefaultLadder()))
+	}
+	// Rung metrics are keyed by backend name and shared process-wide, so
+	// snapshot them after the gateway (and thus the counters) exist but
+	// before any frame is submitted.
+	fullBefore := g.rungs[StageFull].attempts.Value()
+	relaxedBefore := g.rungs[StageRelaxed].success.Value()
+	recoveredBefore := mRecovered.Value()
 	done := collectOutcomes(g)
 	if _, err := g.Submit(nil, "drifted", h, faulted); err != nil {
 		t.Fatal(err)
@@ -194,6 +200,9 @@ func TestLadderRecoversDriftedFrame(t *testing.T) {
 	if o.Stage != StageRelaxed || o.Attempts != 2 {
 		t.Errorf("decoded at stage %s after %d attempts, want relaxed after 2", o.Stage, o.Attempts)
 	}
+	if o.Backend != "relaxed" {
+		t.Errorf("decoded by backend %q, want %q", o.Backend, "relaxed")
+	}
 	wantPayload := false
 	for _, p := range o.Payloads {
 		for _, tp := range truth {
@@ -208,14 +217,14 @@ func TestLadderRecoversDriftedFrame(t *testing.T) {
 	if st := g.Stats(); st.Recovered != 1 || st.Decoded != 1 {
 		t.Errorf("stats = %+v, want 1 decoded / 1 recovered", st)
 	}
-	// The ladder path is visible in metrics: the full stage was attempted
-	// (and failed), the relaxed stage succeeded, and the frame counts as a
-	// recovery.
-	if d := mStageAttempts[StageFull].Value() - fullBefore; d != 1 {
-		t.Errorf("full-stage attempts delta = %d, want 1", d)
+	// The ladder path is visible in the name-keyed rung metrics: the choir
+	// backend was attempted (and failed), the relaxed backend succeeded,
+	// and the frame counts as a recovery.
+	if d := g.rungs[StageFull].attempts.Value() - fullBefore; d != 1 {
+		t.Errorf("choir-rung attempts delta = %d, want 1", d)
 	}
-	if d := mStageSuccess[StageRelaxed].Value() - relaxedBefore; d != 1 {
-		t.Errorf("relaxed-stage success delta = %d, want 1", d)
+	if d := g.rungs[StageRelaxed].success.Value() - relaxedBefore; d != 1 {
+		t.Errorf("relaxed-rung success delta = %d, want 1", d)
 	}
 	if d := mRecovered.Value() - recoveredBefore; d != 1 {
 		t.Errorf("recovered counter delta = %d, want 1", d)
@@ -255,7 +264,7 @@ func TestOutcomesDeterministicAcrossWorkers(t *testing.T) {
 	}
 	for id, s := range serial {
 		p := parallel[id]
-		if s.Kind != p.Kind || s.Stage != p.Stage || s.Attempts != p.Attempts || s.Users != p.Users {
+		if s.Kind != p.Kind || s.Stage != p.Stage || s.Backend != p.Backend || s.Attempts != p.Attempts || s.Users != p.Users {
 			t.Errorf("frame %d differs across workers: %+v vs %+v", id, s, p)
 		}
 		if fmt.Sprintf("%x", s.Payloads) != fmt.Sprintf("%x", p.Payloads) {

@@ -8,16 +8,24 @@ import (
 	"sync"
 	"time"
 
+	"choir/internal/backend"
 	"choir/internal/choir"
 	"choir/internal/exec"
-	"choir/internal/lora"
+	"choir/internal/obs"
 )
 
-// Stage is one rung of the decode-recovery ladder. Rungs are ordered from
-// the highest-fidelity decode to the cheapest fallback; the ladder walks
-// them in order until a payload is recovered or every rung has been tried.
+// Stage is a rung INDEX into the gateway's decode-recovery ladder. The
+// ladder itself is an ordered list of registered backend names
+// (Config.Ladder); Stage survives as the positional coordinate because the
+// decode-seed contract is keyed by rung position — seeds depend only on
+// (gateway seed, frame ID, rung index), so reordering a ladder reassigns
+// seeds with it, while renaming a backend does not. Everything
+// human-facing (metrics, logs, Outcome.Backend) is keyed by backend name.
 type Stage int
 
+// Rung indices of the default ladder (see DefaultLadder). Kept as named
+// constants because tests and operators reason about the default ladder's
+// shape; custom ladders index past them freely.
 const (
 	// StageFull is the paper's full Choir pipeline: phased SIC, fine
 	// offset refinement, the default peak and matching tunables.
@@ -31,11 +39,11 @@ const (
 	// strongest user with SIC disabled. It abandons the collision's weak
 	// users to salvage at least one payload per capture.
 	StageStrongest
-
-	numStages = int(StageStrongest) + 1
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer with the historical rung names for the
+// default ladder's indices. Outcome.Backend carries the authoritative
+// backend name.
 func (s Stage) String() string {
 	switch s {
 	case StageFull:
@@ -45,33 +53,43 @@ func (s Stage) String() string {
 	case StageStrongest:
 		return "strongest"
 	default:
-		return fmt.Sprintf("Stage(%d)", int(s))
+		return fmt.Sprintf("rung%d", int(s))
 	}
 }
 
-// stageConfig returns the decoder configuration for one ladder rung at one
-// PHY. FineSearch stays on in every rung: coarse offset estimates corrupt
-// the fingerprint matching that separates users, which would turn the
-// fallback into a wrong-payload generator rather than a cheaper decoder.
-func stageConfig(stage Stage, p lora.Params) choir.Config {
-	cfg := choir.DefaultConfig(p)
-	switch stage {
-	case StageRelaxed:
-		cfg.PeakThreshold = 3.5
-		cfg.MatchTolerance = 0.12
-		cfg.DynamicRangeDB = 14
-		cfg.TotalDynamicRangeDB = 40
-	case StageStrongest:
-		cfg.MaxUsers = 1
-		cfg.SICPhases = 0
-		cfg.PeakThreshold = 4
-		cfg.FineIters = 8
-	}
-	return cfg
+// DefaultLadder is the ladder Config.Ladder defaults to: the paper's full
+// Choir pipeline, the relaxed-tunables retry, and the
+// single-strongest-user salvage — the same recovery sequence the gateway
+// ran before the rungs became pluggable backends.
+func DefaultLadder() []string { return []string{"choir", "relaxed", "strongest"} }
+
+// rung is one configured ladder position: a registered backend name plus
+// the per-rung circuit breaker and name-keyed metrics. Two gateways with a
+// shared backend name share the process-wide metric instances (obs
+// registration is idempotent by name) but never a breaker.
+type rung struct {
+	name    string
+	breaker *breaker
+
+	attempts *obs.Counter
+	success  *obs.Counter
+	trips    *obs.Counter
+	skips    *obs.Counter
 }
 
-// breaker is a per-stage circuit breaker. Sustained consecutive failures
-// trip it open; while open, attempts at that stage are skipped (the ladder
+func newRung(name string, threshold, cooldown int) *rung {
+	return &rung{
+		name:     name,
+		breaker:  &breaker{threshold: threshold, cooldown: cooldown},
+		attempts: obs.NewCounter("gateway.stage." + name + ".attempts"),
+		success:  obs.NewCounter("gateway.stage." + name + ".success"),
+		trips:    obs.NewCounter("gateway.breaker." + name + ".trips"),
+		skips:    obs.NewCounter("gateway.breaker." + name + ".skips"),
+	}
+}
+
+// breaker is a per-rung circuit breaker. Sustained consecutive failures
+// trip it open; while open, attempts at that rung are skipped (the ladder
 // falls through to the cheaper rung immediately). After cooldown skipped
 // attempts it half-opens and lets a single probe through: a successful
 // probe closes it, a failed one re-opens it for another cooldown.
@@ -88,7 +106,7 @@ type breaker struct {
 	probing    bool // half-open: one probe is in flight
 }
 
-// allow reports whether an attempt at this stage may proceed. When it
+// allow reports whether an attempt at this rung may proceed. When it
 // returns false the caller must not call record for this attempt.
 func (b *breaker) allow() (ok, wasSkip bool) {
 	if b.threshold <= 0 {
@@ -148,27 +166,29 @@ func (b *breaker) isTripped() bool {
 }
 
 // decodeLadder runs one frame through the recovery ladder and returns its
-// terminal outcome. Attempt k (1-based) uses stage min(k-1, strongest), so
-// with MaxAttempts = 3 every rung is tried once and with larger budgets the
-// extra attempts repeat the cheap fallback. Between attempts it sleeps a
-// seeded exponential backoff with jitter, cancelable by the gateway
-// context. Breaker-skipped stages do not consume attempts.
+// terminal outcome. Attempt k (1-based) uses rung min(k-1, last), so with
+// MaxAttempts = len(ladder) every rung is tried once and with larger
+// budgets the extra attempts repeat the last (cheapest) rung. Between
+// attempts it sleeps a seeded exponential backoff with jitter, cancelable
+// by the gateway context. Breaker-skipped rungs do not consume attempts.
 func (g *Gateway) decodeLadder(f *Frame) Outcome {
 	o := Outcome{FrameID: f.ID, Source: f.Source}
 	// Backoff jitter is seeded per frame so a replay of the same capture
 	// sequence schedules identically; it never influences decode results.
 	rng := rand.New(rand.NewPCG(g.cfg.Seed^f.ID, 0xBAC0FF))
+	last := len(g.rungs) - 1
 
 	var lastErr error
 	attempt := 0
-	for rung := 0; attempt < g.cfg.MaxAttempts; rung++ {
-		stage := Stage(min(rung, int(StageStrongest)))
-		allowed, wasSkip := g.breakers[stage].allow()
+	for idx := 0; attempt < g.cfg.MaxAttempts; idx++ {
+		stage := Stage(min(idx, last))
+		r := g.rungs[stage]
+		allowed, wasSkip := r.breaker.allow()
 		if !allowed {
 			if wasSkip {
-				mBreakerSkips[stage].Inc()
+				r.skips.Inc()
 			}
-			if stage == StageStrongest {
+			if int(stage) == last {
 				// Nothing cheaper to fall through to.
 				break
 			}
@@ -183,17 +203,18 @@ func (g *Gateway) decodeLadder(f *Frame) Outcome {
 				break
 			}
 		}
-		mStageAttempts[stage].Inc()
-		payloads, users, err := g.attempt(f, stage)
+		r.attempts.Inc()
+		payloads, users, err := g.attempt(f, stage, r)
 		if err == nil {
-			g.breakers[stage].record(true)
-			mStageSuccess[stage].Inc()
+			r.breaker.record(true)
+			r.success.Inc()
 			o.Kind = OutcomeDecoded
 			o.Stage = stage
+			o.Backend = r.name
 			o.Attempts = attempt
 			o.Users = users
 			o.Payloads = payloads
-			if stage > StageFull {
+			if stage > 0 {
 				mRecovered.Inc()
 			}
 			return o
@@ -201,16 +222,16 @@ func (g *Gateway) decodeLadder(f *Frame) Outcome {
 		lastErr = err
 		if g.ctx.Err() != nil {
 			// The gateway is stopping: the failure says nothing about the
-			// stage's health, so don't poison its breaker, and don't keep
+			// rung's health, so don't poison its breaker, and don't keep
 			// retrying a decode that will only ever see a dead context.
 			break
 		}
-		tripped := g.breakers[stage].isTripped()
-		g.breakers[stage].record(false)
-		if !tripped && g.breakers[stage].isTripped() {
-			mBreakerTrips[stage].Inc()
+		tripped := r.breaker.isTripped()
+		r.breaker.record(false)
+		if !tripped && r.breaker.isTripped() {
+			r.trips.Inc()
 		}
-		if stage == StageStrongest && attempt >= g.cfg.MaxAttempts {
+		if int(stage) == last && attempt >= g.cfg.MaxAttempts {
 			break
 		}
 	}
@@ -218,7 +239,7 @@ func (g *Gateway) decodeLadder(f *Frame) Outcome {
 	o.Attempts = attempt
 	if lastErr == nil {
 		// Every rung was breaker-skipped before a single attempt ran.
-		lastErr = errors.New("all stages circuit-broken")
+		lastErr = errors.New("all rungs circuit-broken")
 	}
 	o.Err = fmt.Errorf("%w: %w", ErrLadderExhausted, lastErr)
 	return o
@@ -248,16 +269,17 @@ func (g *Gateway) backoff(rng *rand.Rand, attempt int) bool {
 	}
 }
 
-// attempt runs one decode at one ladder stage. A panic anywhere inside the
-// decoder is recovered into ErrDecodePanic, isolating poisoned frames to a
+// attempt runs one decode at one ladder rung. A panic anywhere inside the
+// backend is recovered into ErrDecodePanic, isolating poisoned frames to a
 // typed per-frame error. Each attempt gets its own deadline (DecodeTimeout)
-// derived from the gateway context, enforced cooperatively by DecodeCtx.
-func (g *Gateway) attempt(f *Frame, stage Stage) (payloads [][]byte, users int, err error) {
+// derived from the gateway context, enforced cooperatively by the backend's
+// cancellation points.
+func (g *Gateway) attempt(f *Frame, stage Stage, r *rung) (payloads [][]byte, users int, err error) {
 	defer func() {
-		if r := recover(); r != nil {
+		if rec := recover(); rec != nil {
 			mPanics.Inc()
 			payloads, users = nil, 0
-			err = fmt.Errorf("%w: stage %s: %v", ErrDecodePanic, stage, r)
+			err = fmt.Errorf("%w: backend %s: %v", ErrDecodePanic, r.name, rec)
 		}
 	}()
 	ctx := g.ctx
@@ -266,17 +288,17 @@ func (g *Gateway) attempt(f *Frame, stage Stage) (payloads [][]byte, users int, 
 		ctx, cancel = context.WithTimeout(ctx, g.cfg.DecodeTimeout)
 		defer cancel()
 	}
-	pool, err := g.poolFor(f.Header.Params, stage)
+	pool, err := g.poolFor(f.Header.Params, r.name)
 	if err != nil {
 		return nil, 0, err
 	}
-	// The decoder seed depends only on (gateway seed, frame ID, stage):
-	// replaying a capture stream through any worker count reproduces every
-	// outcome bit for bit.
-	dec := pool.Get(exec.DeriveSeed(g.cfg.Seed, f.ID, uint64(stage)))
-	defer pool.Put(dec)
+	// The decoder seed depends only on (gateway seed, frame ID, rung
+	// index): replaying a capture stream through any worker count
+	// reproduces every outcome bit for bit.
+	b := pool.Get(exec.DeriveSeed(g.cfg.Seed, f.ID, uint64(stage)))
+	defer pool.Put(b)
 	sp := tDecode.Start()
-	res, err := dec.DecodeCtx(ctx, f.Samples, f.Header.PayloadLen)
+	res, err := backend.DecodeCtx(ctx, b, f.Samples, f.Header.PayloadLen)
 	sp.Stop()
 	if err != nil {
 		return nil, 0, err

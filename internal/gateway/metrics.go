@@ -25,28 +25,12 @@ var (
 	mPanics  = obs.NewCounter("gateway.decode_panics")
 	mRetries = obs.NewCounter("gateway.retries")
 
-	// Per-stage ladder visibility: attempts, successes, breaker trips and
-	// breaker-skipped attempts, indexed by Stage.
-	mStageAttempts = [numStages]*obs.Counter{
-		obs.NewCounter("gateway.stage.full.attempts"),
-		obs.NewCounter("gateway.stage.relaxed.attempts"),
-		obs.NewCounter("gateway.stage.strongest.attempts"),
-	}
-	mStageSuccess = [numStages]*obs.Counter{
-		obs.NewCounter("gateway.stage.full.success"),
-		obs.NewCounter("gateway.stage.relaxed.success"),
-		obs.NewCounter("gateway.stage.strongest.success"),
-	}
-	mBreakerTrips = [numStages]*obs.Counter{
-		obs.NewCounter("gateway.breaker.full.trips"),
-		obs.NewCounter("gateway.breaker.relaxed.trips"),
-		obs.NewCounter("gateway.breaker.strongest.trips"),
-	}
-	mBreakerSkips = [numStages]*obs.Counter{
-		obs.NewCounter("gateway.breaker.full.skips"),
-		obs.NewCounter("gateway.breaker.relaxed.skips"),
-		obs.NewCounter("gateway.breaker.strongest.skips"),
-	}
+	// Per-rung ladder visibility — attempts, successes, breaker trips and
+	// breaker-skipped attempts — lives on each rung, keyed by BACKEND NAME
+	// (gateway.stage.<backend>.attempts, gateway.breaker.<backend>.trips,
+	// ...), not by ladder position: two ladders that share a backend
+	// aggregate into the same series, and reordering a ladder does not
+	// silently re-label its history. See newRung in ladder.go.
 
 	// Latency surfaces: time a frame waited in the queue, and time one
 	// decode attempt took.
