@@ -42,6 +42,7 @@ import (
 	"choir/internal/obs"
 	"choir/internal/radio"
 	"choir/internal/sim"
+	"choir/internal/trace"
 )
 
 // PHY layer (package internal/lora).
@@ -409,6 +410,9 @@ type (
 	ShedPolicy = gateway.ShedPolicy
 	// LadderStage is one rung of the decode-recovery ladder.
 	LadderStage = gateway.Stage
+	// TraceHeader is the metadata header of an IQ trace file or streamed
+	// frame (PHY params, payload length).
+	TraceHeader = trace.Header
 )
 
 // Gateway constructors, ingest helpers, and typed errors.
@@ -422,6 +426,18 @@ var (
 	GatewayIngestFiles = gateway.IngestFiles
 	// GatewayServeTCP accepts one EOF-delimited trace per TCP connection.
 	GatewayServeTCP = gateway.ServeTCP
+	// GatewayServeTCPStream accepts length-prefixed streaming frames
+	// (trace.WriteFramed): each frame is admitted as soon as its header
+	// arrives and decoding overlaps sample delivery.
+	GatewayServeTCPStream = gateway.ServeTCPStream
+	// WriteTrace writes one IQ capture in the *.iq trace-file format.
+	WriteTrace = trace.Write
+	// ReadTrace parses one IQ capture from the *.iq trace-file format.
+	ReadTrace = trace.Read
+	// WriteFramedTrace writes one frame in the streaming wire format
+	// GatewayServeTCPStream accepts (length-prefixed header + sample count
+	// + raw little-endian I/Q pairs).
+	WriteFramedTrace = trace.WriteFramed
 	// DefaultGatewayLadder returns the default decode-recovery ladder as an
 	// ordered list of registered backend names.
 	DefaultGatewayLadder = gateway.DefaultLadder
@@ -440,6 +456,12 @@ var (
 	// ErrGatewayDecodePanic marks a frame whose decode panicked; the panic
 	// is isolated to that frame.
 	ErrGatewayDecodePanic = gateway.ErrDecodePanic
+	// ErrGatewayStreamAborted marks a streamed frame whose connection died
+	// before the last sample arrived; the frame fails without retries.
+	ErrGatewayStreamAborted = gateway.ErrStreamAborted
+	// ErrGatewayNoTraces reports an ingest directory that exists but holds
+	// no *.iq traces.
+	ErrGatewayNoTraces = gateway.ErrNoTraces
 )
 
 // Shedding policies and ladder stages.

@@ -107,6 +107,12 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// FramesPerSec and P99LatencyNs are set only by the gateway
+	// sustained-throughput benchmarks (via testing's ReportMetric).
+	// FramesPerSec is additionally gated on -compare: a pinned benchmark
+	// whose sustained throughput drops beyond the threshold fails.
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	P99LatencyNs float64 `json:"p99_latency_ns,omitempty"`
 	// PinNs marks the benchmark as gated on ns/op regressions.
 	PinNs bool `json:"pin_ns"`
 	// PinAllocs marks the benchmark as gated on any allocs/op increase
@@ -183,6 +189,10 @@ func compareReports(w *os.File, old, cur *Report, threshold float64) int {
 		}
 		if nb.PinAllocs && nb.AllocsPerOp > ob.AllocsPerOp {
 			gate = fmt.Sprintf("FAIL allocs/op %d -> %d", ob.AllocsPerOp, nb.AllocsPerOp)
+			failures++
+		}
+		if nb.PinNs && ob.FramesPerSec > 0 && nb.FramesPerSec < ob.FramesPerSec*(1-threshold) {
+			gate = fmt.Sprintf("FAIL frames/sec %.0f -> %.0f", ob.FramesPerSec, nb.FramesPerSec)
 			failures++
 		}
 		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%% %s\n", name, ob.NsPerOp, nb.NsPerOp, delta*100, gate)

@@ -4,13 +4,17 @@ import (
 	"context"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"choir"
 	"choir/internal/backend"
 	ichoir "choir/internal/choir"
 	"choir/internal/dsp"
+	"choir/internal/gateway"
 	"choir/internal/lora"
+	"choir/internal/obs"
 	"choir/internal/sim"
+	"choir/internal/trace"
 )
 
 // benchmark is one named, seeded measurement in the suite.
@@ -29,8 +33,12 @@ func (bm benchmark) run() Result {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
-		PinNs:       bm.PinNs,
-		PinAllocs:   bm.PinAllocs,
+		// Custom metrics reported via b.ReportMetric; zero when the
+		// benchmark doesn't emit them.
+		FramesPerSec: r.Extra["frames/sec"],
+		P99LatencyNs: r.Extra["p99-ns"],
+		PinNs:        bm.PinNs,
+		PinAllocs:    bm.PinAllocs,
 	}
 }
 
@@ -47,7 +55,66 @@ func suite() []benchmark {
 		{Name: "BenchmarkBackendDispatch", PinNs: true, PinAllocs: true, Fn: benchBackendDispatch},
 		{Name: "BenchmarkDecodeTwoUserCollision", PinNs: true, Fn: benchDecodeTwoUser},
 		{Name: "BenchmarkDecodeEightUserCollision", PinNs: true, Fn: benchDecodeEightUser},
+		{Name: "BenchmarkGatewaySerial", PinNs: true, Fn: benchGatewaySerial},
+		{Name: "BenchmarkGatewaySustained", PinNs: true, Fn: benchGatewaySustained},
 		{Name: "BenchmarkHeadline", PinNs: true, Fn: benchHeadline},
+	}
+}
+
+func benchGatewaySerial(b *testing.B)    { benchGatewayFrames(b, 1) }
+func benchGatewaySustained(b *testing.B) { benchGatewayFrames(b, 8) }
+
+// benchGatewayFrames is the sustained-throughput measurement behind both
+// gateway benchmarks: push b.N identical two-user collision frames through a
+// full gateway (queue, workers, ladder) and drain it, with metrics recording
+// on so the gateway.frame_latency_ns histogram captures enqueue-to-outcome
+// latency. batch=1 is the pre-batching serial path; batch=8 drains worker
+// wakeups through the batched first rung. Reports frames/sec and the p99
+// latency alongside ns/op so -compare can gate sustained throughput, not
+// just per-op cost.
+func benchGatewayFrames(b *testing.B, batch int) {
+	p := lora.DefaultParams()
+	p.SF = lora.SF7
+	sc := sim.Scenario{Params: p, PayloadLen: 4, SNRsDB: []float64{15, 12}, Seed: 3}
+	sig, _ := sc.Synthesize()
+	h := trace.Header{Params: p, PayloadLen: 4}
+
+	obs.Reset()
+	obs.Enable()
+	defer obs.Disable()
+	g, err := gateway.New(gateway.Config{
+		Queue: 256, Seed: 11, Batch: batch, BackoffBase: time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	decoded := make(chan int, 1)
+	go func() {
+		n := 0
+		for o := range g.Outcomes() {
+			if o.Kind == gateway.OutcomeDecoded {
+				n++
+			}
+		}
+		decoded <- n
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Submit(context.Background(), "bench", h, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := g.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if n := <-decoded; n != b.N {
+		b.Fatalf("decoded %d of %d frames", n, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+	if hist := obs.NewTimer("gateway.frame_latency_ns").Hist(); hist.Count() > 0 {
+		b.ReportMetric(hist.Quantile(0.99), "p99-ns")
 	}
 }
 

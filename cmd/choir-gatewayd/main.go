@@ -9,14 +9,20 @@
 // exactly one terminal outcome line on stdout: decoded (naming the
 // backend that succeeded), failed with a typed error, or shed.
 //
-// TCP ingest carries one EOF-delimited trace per connection: the sender
-// writes the trace, half-closes its write side, and reads a one-line
-// status reply ("accepted <id>" or "error: <reason>").
+// TCP ingest comes in two modes. -listen carries one EOF-delimited trace
+// per connection: the sender writes the trace, half-closes its write side,
+// and reads a one-line status reply ("accepted <id>" or "error:
+// <reason>"). -listen-stream speaks the length-prefixed streaming framing
+// (trace.WriteFramed): the frame is admitted as soon as its header
+// arrives, the "accepted <id>" reply comes back immediately, and decoding
+// overlaps the remaining samples still being delivered. Either way
+// connections are capped at -max-conns and bounded by -conn-timeout.
 //
 // Usage:
 //
 //	choir-gatewayd night/*.iq
 //	choir-gatewayd -listen :7373
+//	choir-gatewayd -listen-stream :7374 -conn-timeout 10s -batch 8
 //	choir-gatewayd -listen :7373 -queue 128 -shed-policy drop-oldest
 //	choir-gatewayd -decode-timeout 2s -max-retries 2 captures/
 //	choir-gatewayd -ladder superposed,strongest night/*.iq
@@ -67,6 +73,10 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("choir-gatewayd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "", "TCP ingest address (e.g. :7373); one EOF-delimited trace per connection")
+	listenStream := fs.String("listen-stream", "", "framed streaming TCP ingest address; decode starts before the last sample arrives")
+	connTimeout := fs.Duration("conn-timeout", 30*time.Second, "per-connection I/O deadline on the TCP ingest sockets (0 = none)")
+	maxConns := fs.Int("max-conns", 64, "concurrent TCP ingest connections before new ones are shed")
+	batch := fs.Int("batch", 1, "frames a worker decodes per wakeup through the batched first rung (1 = off)")
 	queue := fs.Int("queue", 64, "bounded ingest queue depth")
 	shedPolicy := fs.String("shed-policy", "block", "full-queue policy: block, drop-oldest, or reject")
 	workers := fs.Int("workers", 0, "decode workers (0 = all CPUs)")
@@ -85,8 +95,12 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
-	if *listen == "" && fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: choir-gatewayd [-listen addr] [-queue n -shed-policy p] [trace.iq | dir ...]")
+	if *listen == "" && *listenStream == "" && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: choir-gatewayd [-listen addr | -listen-stream addr] [-queue n -shed-policy p] [trace.iq | dir ...]")
+		return exitUsage
+	}
+	if *listen != "" && *listenStream != "" {
+		fmt.Fprintln(stderr, "choir-gatewayd: -listen and -listen-stream are mutually exclusive")
 		return exitUsage
 	}
 	policy, err := gateway.ParseShedPolicy(*shedPolicy)
@@ -136,6 +150,9 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		BreakerCooldown:  *breakerCooldown,
 		Seed:             *seed,
 		Ladder:           rungs,
+		Batch:            *batch,
+		MaxConns:         *maxConns,
+		ConnTimeout:      *connTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "choir-gatewayd:", err)
@@ -164,16 +181,20 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	serveOK := true
-	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
+	if *listen != "" || *listenStream != "" {
+		addr, serve, mode := *listen, gateway.ServeTCP, "EOF-delimited"
+		if *listenStream != "" {
+			addr, serve, mode = *listenStream, gateway.ServeTCPStream, "framed streaming"
+		}
+		ln, err := net.Listen("tcp", addr)
 		if err != nil {
 			fmt.Fprintln(stderr, "choir-gatewayd:", err)
 			drain(g, *drainTimeout, stderr)
 			<-printerDone
 			return exitFailed
 		}
-		fmt.Fprintf(stderr, "choir-gatewayd: listening on %s\n", ln.Addr())
-		if err := gateway.ServeTCP(ctx, g, ln); err != nil {
+		fmt.Fprintf(stderr, "choir-gatewayd: listening on %s (%s)\n", ln.Addr(), mode)
+		if err := serve(ctx, g, ln); err != nil {
 			fmt.Fprintln(stderr, "choir-gatewayd:", err)
 			serveOK = false
 		}

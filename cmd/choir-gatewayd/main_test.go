@@ -120,6 +120,10 @@ func TestRunTCPMode(t *testing.T) {
 		for _, line := range strings.Split(stderr.String(), "\n") {
 			if rest, ok := strings.CutPrefix(line, "choir-gatewayd: listening on "); ok {
 				addr = strings.TrimSpace(rest)
+				// Drop the "(mode)" suffix after the address.
+				if i := strings.IndexByte(addr, ' '); i >= 0 {
+					addr = addr[:i]
+				}
 			}
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -148,6 +152,86 @@ func TestRunTCPMode(t *testing.T) {
 		t.Fatalf("reply = %q (%v), want accepted <id>", reply, err)
 	}
 
+	cancel()
+	select {
+	case code := <-exit:
+		if code != exitInterrupted {
+			t.Fatalf("exit = %d, want %d\nstderr: %s", code, exitInterrupted, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after shutdown signal")
+	}
+	if !strings.Contains(stderr.String(), "accepted 1, decoded 1") {
+		t.Errorf("summary missing from stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "frame 1") {
+		t.Errorf("outcome line missing from stdout: %s", stdout.String())
+	}
+}
+
+// TestRunTCPStreamMode drives the framed streaming listener end to end:
+// the frame is acknowledged as soon as its header lands, the decode
+// finishes after the remaining samples stream in, and shutdown stays
+// clean with balanced accounting.
+func TestRunTCPStreamMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-listen-stream", "127.0.0.1:0", "-batch", "4", "-conn-timeout", "5s", "-backoff", "1us"}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		for _, line := range strings.Split(stderr.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "choir-gatewayd: listening on "); ok {
+				addr = strings.TrimSpace(rest)
+				if i := strings.IndexByte(addr, ' '); i >= 0 {
+					addr = addr[:i]
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address\nstderr: %s", stderr.String())
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lora.DefaultParams()
+	p.SF = lora.SF7
+	sc := sim.Scenario{Params: p, PayloadLen: 4, SNRsDB: []float64{15, 12}, Seed: 1}
+	sig, _ := sc.Synthesize()
+	var fb bytes.Buffer
+	if err := trace.WriteFramed(&fb, trace.Header{Params: p, PayloadLen: 4}, sig); err != nil {
+		t.Fatal(err)
+	}
+	b := fb.Bytes()
+	// Send the preface and half the samples, expect the admission reply
+	// before delivering the rest.
+	if _, err := conn.Write(b[:len(b)/2]); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || !strings.HasPrefix(reply, "accepted ") {
+		t.Fatalf("reply = %q (%v), want accepted <id>", reply, err)
+	}
+	if _, err := conn.Write(b[len(b)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// Wait for the decode to print before shutting down, so the summary
+	// check is deterministic.
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(stdout.String(), "frame 1") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	cancel()
 	select {
 	case code := <-exit:

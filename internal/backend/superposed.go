@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"choir/internal/choir"
+	"choir/internal/ctxutil"
 	"choir/internal/dsp"
 	"choir/internal/lora"
 )
@@ -417,7 +418,7 @@ func (s *superposedBackend) clusterPeak(pk dsp.Peak, w int) {
 // backends, mapping a fired context to the choir error taxonomy exactly as
 // choir.Decoder does.
 func pollCtx(ctx context.Context) error {
-	if ctx == nil || ctx.Done() == nil {
+	if !ctxutil.CanFire(ctx) {
 		return nil
 	}
 	select {

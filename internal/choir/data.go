@@ -62,15 +62,40 @@ func (d *Decoder) decodeData(res *Result, samples []complex128, ests []userEstim
 	for w := range allPeaks {
 		allPeaks[w] = nil
 	}
-	for w := 0; w < nsym; w++ {
+	// Dechirp every data window up front into its own lane, then extract
+	// peaks tile by tile with the round-0 spectra computed as one batched
+	// grid. Each lane is the window's private copy: extractWindowPeaks
+	// mutates its working window during within-window SIC, so the grid must
+	// be fed from copies, not from the shared dechirp scratch.
+	nWins := nsym
+	if maxW := (len(samples) - start) / d.n; maxW < nWins {
+		nWins = maxW
+	}
+	if nWins < 0 {
+		nWins = 0
+	}
+	if cap(d.dataWins) < nWins {
+		d.dataWins = append(d.dataWins[:cap(d.dataWins)], make([][]complex128, nWins-cap(d.dataWins))...)
+	}
+	wins := d.dataWins[:nWins]
+	for w := 0; w < nWins; w++ {
 		if d.canceled() {
 			return users
 		}
-		off := start + w*d.n
-		if off+d.n > len(samples) {
-			break
+		dech := d.dechirpWindow(samples, start+w*d.n)
+		wins[w] = c128Buf(&wins[w], d.n)
+		copy(wins[w], dech)
+	}
+	for base := 0; base < nWins; base += specTile {
+		end := min(base+specTile, nWins)
+		d.gridCompute(wins[base:end])
+		for w := base; w < end; w++ {
+			if d.canceled() {
+				return users
+			}
+			allPeaks[w] = d.extractWindowPeaks(samples, start+w*d.n, w, ests,
+				wins[w], d.grid.Spec(w-base), d.grid.Mags(w-base))
 		}
-		allPeaks[w] = d.extractWindowPeaks(samples, off, w, ests)
 	}
 
 	if d.cfg.UseClustering && len(ests) > 1 {
@@ -169,29 +194,44 @@ func (d *Decoder) mlSymbolPass(samples []complex128, off, w int, peaks []peakObs
 			subtractTone(resid, offs[i]/float64(d.n), joint[i])
 		}
 	}
-	ownTone := c128Buf(&d.maskedBuf, d.n)
-	for ui, u := range users {
-		// Re-add this user's own assigned peak (if any) to the residual.
-		copy(ownTone, resid)
+	// Build every user's matched-filter input as its own lane — the shared
+	// residual plus that user's re-added peak — and take the whole tile's
+	// spectra in one batched grid; the residual is fixed during the user
+	// loop, so the lanes are independent and the batch decides the same
+	// symbols the one-user-at-a-time pass did.
+	if cap(d.ownTones) < len(users) {
+		d.ownTones = append(d.ownTones[:cap(d.ownTones)], make([][]complex128, len(users)-cap(d.ownTones))...)
+	}
+	tones := d.ownTones[:len(users)]
+	for ui := range users {
+		tones[ui] = c128Buf(&tones[ui], d.n)
+		copy(tones[ui], resid)
 		for i, pk := range peaks {
 			if pk.user == ui {
-				addTone(ownTone, offs[i]/float64(d.n), joint[i])
+				addTone(tones[ui], offs[i]/float64(d.n), joint[i])
 			}
 		}
-		spec := d.paddedSpectrum(ownTone)
-		best, bestMag := -1, 0.0
-		for s := 0; s < d.n; s++ {
-			bin := math.Mod(float64(s)+u.Offset, float64(d.n))
-			v := specAt(spec, bin, d.pad, d.n)
-			if m := real(v)*real(v) + imag(v)*imag(v); m > bestMag {
-				best, bestMag = s, m
+	}
+	for base := 0; base < len(users); base += specTile {
+		end := min(base+specTile, len(users))
+		d.gridCompute(tones[base:end])
+		for ui := base; ui < end; ui++ {
+			u := users[ui]
+			spec := d.grid.Spec(ui - base)
+			best, bestMag := -1, 0.0
+			for s := 0; s < d.n; s++ {
+				bin := math.Mod(float64(s)+u.Offset, float64(d.n))
+				v := specAt(spec, bin, d.pad, d.n)
+				if m := real(v)*real(v) + imag(v)*imag(v); m > bestMag {
+					best, bestMag = s, m
+				}
 			}
-		}
-		if best >= 0 {
-			// Keep the assignment-derived value only when ML has no peak
-			// assigned at all AND the user had one (shouldn't happen); the
-			// ML value is authoritative.
-			u.Symbols[w] = best
+			if best >= 0 {
+				// Keep the assignment-derived value only when ML has no peak
+				// assigned at all AND the user had one (shouldn't happen); the
+				// ML value is authoritative.
+				u.Symbols[w] = best
+			}
 		}
 	}
 }
@@ -501,17 +541,24 @@ func (d *Decoder) icSymbolPass(samples []complex128, off, w int, users []*User, 
 // fractional position matches its offset fingerprint (typically a weak user
 // under a strong one's side lobes), every peak found so far is modelled and
 // subtracted and the residual is searched again at a lower threshold
-// (Sec. 5.2 applied per window). The returned peak list is arena-backed:
-// valid until the end of the current decode.
-func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []userEstimate) []peakObs {
+// (Sec. 5.2 applied per window). win is the pre-dechirped window and
+// spec0/mags0 its batched round-0 spectrum (grid lanes, valid for this call
+// only); the round-1 spectrum of the SIC residual is still computed here,
+// serially, because the residual depends on this window's own round-0
+// peaks. The returned peak list is arena-backed: valid until the end of the
+// current decode.
+func (d *Decoder) extractWindowPeaks(samples []complex128, off, w int, ests []userEstimate, win, spec0 []complex128, mags0 []float64) []peakObs {
 	dech := c128Buf(&d.dechCopy, d.n)
-	copy(dech, d.dechirpWindow(samples, off))
+	copy(dech, win)
 
 	budget := len(ests) + 2
 	out := d.ar.pk.takeCap(2 * budget) // ≤ budget appends per round × 2 rounds
 	for round := 0; round < 2; round++ {
-		spec := d.paddedSpectrum(dech)
-		mags := d.magnitudes(spec)
+		spec, mags := spec0, mags0
+		if round > 0 {
+			spec = d.paddedSpectrum(dech)
+			mags = d.magnitudes(spec)
+		}
 		pkSp := mStagePeaks.Start()
 		floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
 		thresh := floor * d.cfg.PeakThreshold

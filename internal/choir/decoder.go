@@ -36,6 +36,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"choir/internal/ctxutil"
 	"choir/internal/dsp"
 	"choir/internal/linalg"
 	"choir/internal/lora"
@@ -130,6 +131,15 @@ type Decoder struct {
 	scratchDech []complex128
 	scratchSpec []complex128
 	scratchMags []float64
+
+	// grid batches same-plan padded spectra across a tile of windows (or of
+	// per-user matched-filter inputs) into contiguous slabs — the hot loops
+	// compute whole grids per call instead of one spectrum at a time. Like
+	// every other scratch field it grows to a high-water mark on the first
+	// decode of a shape and is allocation-free afterwards.
+	grid     *dsp.BatchSpectrum
+	dataWins [][]complex128 // dechirped data windows feeding the round-0 grid
+	ownTones [][]complex128 // per-user ML matched-filter inputs (one lane each)
 
 	// Per-decode scratch arena plus dedicated reusable buffers for the
 	// pipeline's per-window temporaries. Together they make steady-state
@@ -236,6 +246,7 @@ func New(cfg Config) (*Decoder, error) {
 	}
 	n := cfg.LoRa.N()
 	padN := dsp.NextPow2(cfg.Pad * n)
+	fft := dsp.NewFFT(padN)
 	pcg := rand.NewPCG(cfg.Seed, cfg.Seed^0xC0FFEE)
 	return &Decoder{
 		cfg:         cfg,
@@ -243,8 +254,9 @@ func New(cfg Config) (*Decoder, error) {
 		n:           n,
 		padN:        padN,
 		pad:         padN / n,
-		fft:         dsp.NewFFT(padN),
+		fft:         fft,
 		symFFT:      dsp.NewFFT(n),
+		grid:        dsp.NewBatchSpectrum(fft),
 		pcg:         pcg,
 		rng:         rand.New(pcg),
 		scratchDech: make([]complex128, n),
@@ -425,11 +437,13 @@ func (d *Decoder) decodeCtxInto(ctx context.Context, res *Result, samples []comp
 }
 
 // armCtx installs ctx as the active decode context. Contexts that can never
-// fire (nil, Background, TODO — anything with a nil Done channel) are not
-// installed, so plain Decode pays nothing for the cancellation machinery.
+// fire — nil, Background, TODO, anything ctxutil.CanFire rejects — are not
+// installed, so plain Decode pays nothing for the cancellation machinery and
+// produces bit-identical results with or without such a context (the
+// contract package ctxutil documents for every optional-context layer).
 func (d *Decoder) armCtx(ctx context.Context) {
 	d.ctx, d.ctxErr = nil, nil
-	if ctx != nil && ctx.Done() != nil {
+	if ctxutil.CanFire(ctx) {
 		d.ctx = ctx
 	}
 }
@@ -479,6 +493,24 @@ func (d *Decoder) paddedSpectrum(dech []complex128) []complex128 {
 	out := d.fft.TransformPruned(d.scratchSpec, dech)
 	sp.Stop()
 	return out
+}
+
+// specTile bounds how many windows one spectral grid holds at a time: tiles
+// keep the slab (padN complex + padN float64 per lane) within cache-friendly
+// bounds at high spreading factors while still amortizing the per-call
+// bookkeeping over a whole tile.
+const specTile = 16
+
+// gridCompute fills the decoder's shared spectral grid with the padded
+// spectra (and magnitude rows) of up to specTile windows, under one FFT
+// metric span. Lane i is bit-identical to paddedSpectrum(srcs[i]) followed
+// by magnitudes — the pruned kernel runs unchanged per lane — so call sites
+// that switch from the serial helpers to the grid preserve golden results.
+// The grid is scratch: lanes are valid until the next gridCompute.
+func (d *Decoder) gridCompute(srcs [][]complex128) {
+	sp := mStageFFT.Start()
+	d.grid.Compute(srcs)
+	sp.Stop()
 }
 
 // magnitudes converts a complex spectrum to magnitudes in the decoder's

@@ -135,28 +135,35 @@ func (d *Decoder) findPreambleUsers(wins [][]complex128, known []userEstimate) [
 	// Observations are gathered in window order into one flat reusable
 	// buffer; the grouping pass below only needs that order, not the
 	// per-window structure.
+	// The whole scan tile's spectra are computed as one batched grid; the
+	// per-window peak hunt then walks the grid's magnitude lanes. Lane
+	// values are bit-identical to the serial paddedSpectrum/magnitudes pair,
+	// so the peaks — and everything downstream — are unchanged.
 	relCut := math.Pow(10, -d.cfg.DynamicRangeDB/20)
 	obsAll := d.obsBuf[:0]
-	for _, dech := range wins {
-		spec := d.paddedSpectrum(dech)
-		mags := d.magnitudes(spec)
-		pkSp := mStagePeaks.Start()
-		floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
-		peaks := dsp.FindPeaksScratch(&d.peakScratch, mags, dsp.PeakConfig{
-			Pad:           d.pad,
-			MinSeparation: 0.9,
-			Threshold:     floor * d.cfg.PeakThreshold,
-			Max:           budget + 4,
-		})
-		pkSp.Stop()
-		for _, pk := range peaks {
-			if nearKnown(pk.Bin, pk.Mag) {
-				continue
+	for base := 0; base < len(wins); base += specTile {
+		tile := wins[base:min(base+specTile, len(wins))]
+		d.gridCompute(tile)
+		for wi := range tile {
+			mags := d.grid.Mags(wi)
+			pkSp := mStagePeaks.Start()
+			floor := dsp.NoiseFloorScratch(mags, f64Buf(&d.noiseScratch, len(mags)))
+			peaks := dsp.FindPeaksScratch(&d.peakScratch, mags, dsp.PeakConfig{
+				Pad:           d.pad,
+				MinSeparation: 0.9,
+				Threshold:     floor * d.cfg.PeakThreshold,
+				Max:           budget + 4,
+			})
+			pkSp.Stop()
+			for _, pk := range peaks {
+				if nearKnown(pk.Bin, pk.Mag) {
+					continue
+				}
+				if len(peaks) > 0 && pk.Mag < peaks[0].Mag*relCut {
+					continue
+				}
+				obsAll = append(obsAll, binObs{bin: pk.Bin, mag: pk.Mag})
 			}
-			if len(peaks) > 0 && pk.Mag < peaks[0].Mag*relCut {
-				continue
-			}
-			obsAll = append(obsAll, binObs{bin: pk.Bin, mag: pk.Mag})
 		}
 	}
 	d.obsBuf = obsAll

@@ -1,0 +1,60 @@
+package ctxutil
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// nilDoneCtx is a custom context that can never be canceled but is neither
+// nil nor context.Background(): Done returns nil, as the context.Context
+// documentation permits.
+type nilDoneCtx struct{ context.Context }
+
+func (nilDoneCtx) Done() <-chan struct{} { return nil }
+func (nilDoneCtx) Err() error            { return nil }
+
+func TestCanFire(t *testing.T) {
+	cancelable, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadlined, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	cases := []struct {
+		name string
+		ctx  context.Context
+		want bool
+	}{
+		{"nil", nil, false},
+		{"Background", context.Background(), false},
+		{"TODO", context.TODO(), false},
+		{"custom nil-Done", nilDoneCtx{context.Background()}, false},
+		{"WithCancel", cancelable, true},
+		{"WithTimeout", deadlined, true},
+	}
+	for _, tc := range cases {
+		if got := CanFire(tc.ctx); got != tc.want {
+			t.Errorf("CanFire(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackground(t *testing.T) {
+	if got := Background(nil); got != context.Background() {
+		t.Errorf("Background(nil) = %v, want context.Background()", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if got := Background(ctx); got != ctx {
+		t.Error("Background must pass a non-nil context through unchanged")
+	}
+	// The normalized value must be safe to select on and to take Err() from.
+	norm := Background(nil)
+	select {
+	case <-norm.Done():
+		t.Error("normalized nil context fired")
+	default:
+	}
+	if norm.Err() != nil {
+		t.Errorf("normalized nil context has Err %v", norm.Err())
+	}
+}

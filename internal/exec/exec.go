@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"choir/internal/ctxutil"
 	"choir/internal/obs"
 )
 
@@ -60,10 +61,7 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 // error is ctx.Err() (wrapped) when the fan-out was cut short, nil when all
 // n tasks ran.
 func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	return p.forEach(ctx, n, fn)
+	return p.forEach(ctxutil.Background(ctx), n, fn)
 }
 
 // forEach is the shared fan-out core. ctx == nil means "never cancels" and

@@ -1,11 +1,14 @@
 package gateway
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,25 +36,22 @@ func chaosLadder(t *testing.T) []string {
 	return ladder
 }
 
-// TestChaosGatewaySmoke is the chaos soak: golden fixtures corrupted by a
-// fault chain, deliberately malformed frames, a tiny queue under
-// drop-oldest shedding, and a mid-run hard stop. The gateway must survive
-// with zero panics, account for every accepted frame with exactly one
-// terminal outcome, surface only taxonomy-typed errors, and leak no
-// goroutines — whatever backend ladder it runs (see chaosLadder).
-func TestChaosGatewaySmoke(t *testing.T) {
-	// Load the golden fixtures up front so fixture I/O is outside the
-	// goroutine baseline.
+// chaosFixture is one pre-loaded golden capture.
+type chaosFixture struct {
+	h       trace.Header
+	samples []complex128
+}
+
+// loadChaosFixtures reads the golden fixtures up front so fixture I/O is
+// outside any goroutine-leak baseline.
+func loadChaosFixtures(t *testing.T) []chaosFixture {
+	t.Helper()
 	dir := filepath.Join("..", "choir", "testdata", "golden")
 	names, err := filepath.Glob(filepath.Join(dir, "*.iq"))
 	if err != nil || len(names) == 0 {
 		t.Fatalf("no golden fixtures in %s: %v", dir, err)
 	}
-	type fixture struct {
-		h       trace.Header
-		samples []complex128
-	}
-	var fixtures []fixture
+	var fixtures []chaosFixture
 	for _, name := range names {
 		f, err := os.Open(name)
 		if err != nil {
@@ -62,8 +62,32 @@ func TestChaosGatewaySmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		fixtures = append(fixtures, fixture{h, samples})
+		fixtures = append(fixtures, chaosFixture{h, samples})
 	}
+	return fixtures
+}
+
+// TestChaosGatewaySmoke is the chaos soak: golden fixtures corrupted by a
+// fault chain, deliberately malformed frames, a tiny queue under
+// drop-oldest shedding, and a mid-run hard stop. The gateway must survive
+// with zero panics, account for every accepted frame with exactly one
+// terminal outcome, surface only taxonomy-typed errors, and leak no
+// goroutines — whatever backend ladder it runs (see chaosLadder), on both
+// the per-frame worker path and the mini-batched one.
+func TestChaosGatewaySmoke(t *testing.T) {
+	for _, leg := range []struct {
+		name  string
+		batch int
+	}{
+		{"serial", 1},
+		{"batch4", 4},
+	} {
+		t.Run(leg.name, func(t *testing.T) { runChaosSmoke(t, leg.batch) })
+	}
+}
+
+func runChaosSmoke(t *testing.T, batch int) {
+	fixtures := loadChaosFixtures(t)
 	chain := fault.Chain{
 		fault.MustNew(fault.Clip, 0.6),
 		fault.MustNew(fault.DriftStep, 0.5),
@@ -83,6 +107,7 @@ func TestChaosGatewaySmoke(t *testing.T) {
 		BreakerThreshold: 4,
 		BreakerCooldown:  3,
 		Ladder:           chaosLadder(t),
+		Batch:            batch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -186,10 +211,145 @@ func typedCause(err error) bool {
 		lora.ErrCRC,
 		ErrNoPayloads,
 		ErrDecodePanic,
+		ErrStreamAborted,
 	} {
 		if errors.Is(err, sentinel) {
 			return true
 		}
 	}
 	return false
+}
+
+// TestChaosStreamingIngest soaks the framed streaming path with the same
+// adversarial mix: corrupted fixtures, peers that die mid-frame, malformed
+// length prefixes, a tiny drop-oldest queue, and the chaosLadder backend
+// loop. Every accepted frame must still get exactly one taxonomy-typed
+// terminal outcome and nothing may leak.
+func TestChaosStreamingIngest(t *testing.T) {
+	fixtures := loadChaosFixtures(t)
+	chain := fault.Chain{
+		fault.MustNew(fault.Clip, 0.6),
+		fault.MustNew(fault.DriftStep, 0.5),
+		fault.MustNew(fault.DropBurst, 0.4),
+	}
+	baseline := runtime.NumGoroutine()
+
+	g, err := New(Config{
+		Queue:            2,
+		Policy:           ShedDropOldest,
+		Workers:          2,
+		Seed:             1234,
+		MaxAttempts:      2,
+		BackoffBase:      time.Microsecond,
+		DecodeTimeout:    5 * time.Second,
+		ConnTimeout:      2 * time.Second,
+		BreakerThreshold: 4,
+		BreakerCooldown:  3,
+		Ladder:           chaosLadder(t),
+		Batch:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := collectOutcomes(g)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ServeTCPStream(ctx, g, ln) }()
+
+	const conns = 20
+	accepted := 0
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			// Malformed length prefix: must get an error reply, no frame.
+			conn.Write([]byte{0xff, 0xff, 0xff, 0xff})
+			conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+			if reply, err := bufio.NewReader(conn).ReadString('\n'); err != nil || !strings.HasPrefix(reply, "error: ") {
+				t.Errorf("conn %d: malformed prefix reply %q (%v)", i, reply, err)
+			}
+			conn.Close()
+			continue
+		}
+		fx := fixtures[i%len(fixtures)]
+		samples := chain.Apply(append([]complex128(nil), fx.samples...), uint64(i)*0x9E37+1)
+		var fb bytes.Buffer
+		if err := trace.WriteFramed(&fb, fx.h, samples); err != nil {
+			t.Fatal(err)
+		}
+		b := fb.Bytes()
+		cut := len(b)
+		if i%5 == 3 {
+			// This peer will die with a third of the frame missing.
+			cut = len(b) * 2 / 3
+		}
+		if _, err := conn.Write(b[:cut]); err != nil {
+			t.Fatalf("conn %d: write: %v", i, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			t.Fatalf("conn %d: no reply: %v", i, err)
+		}
+		if strings.HasPrefix(reply, "accepted ") {
+			accepted++
+		}
+		conn.Close()
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("stream server returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream server did not return")
+	}
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	outs := <-done
+
+	if len(outs) != accepted {
+		t.Fatalf("got %d outcomes for %d accepted frames", len(outs), accepted)
+	}
+	st := g.Stats()
+	if st.Accepted != int64(accepted) || st.Decoded+st.Failed+st.Shed != int64(accepted) {
+		t.Errorf("stats do not balance against accepted frames: %+v", st)
+	}
+	seen := map[uint64]bool{}
+	for _, o := range outs {
+		if seen[o.FrameID] {
+			t.Errorf("frame %d has two terminal outcomes", o.FrameID)
+		}
+		seen[o.FrameID] = true
+		switch o.Kind {
+		case OutcomeDecoded:
+			if len(o.Payloads) == 0 {
+				t.Errorf("frame %d decoded with no payloads", o.FrameID)
+			}
+		case OutcomeShed:
+			if !errors.Is(o.Err, ErrShed) {
+				t.Errorf("frame %d shed with untyped error: %v", o.FrameID, o.Err)
+			}
+		case OutcomeFailed:
+			if !errors.Is(o.Err, ErrLadderExhausted) && !errors.Is(o.Err, choir.ErrCanceled) {
+				t.Errorf("frame %d failed outside the taxonomy: %v", o.FrameID, o.Err)
+				continue
+			}
+			if errors.Is(o.Err, ErrLadderExhausted) && !typedCause(o.Err) {
+				t.Errorf("frame %d exhausted the ladder with an untyped cause: %v", o.FrameID, o.Err)
+			}
+		default:
+			t.Errorf("frame %d has unknown outcome kind %v", o.FrameID, o.Kind)
+		}
+	}
+	waitNoLeaks(t, baseline)
 }

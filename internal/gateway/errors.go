@@ -35,4 +35,14 @@ var (
 	// (or breaker-skipped) without recovering a payload. It wraps the last
 	// attempt's error.
 	ErrLadderExhausted = errors.New("gateway: recovery ladder exhausted")
+
+	// ErrStreamAborted reports a streaming frame whose connection died
+	// before the full capture arrived. The ladder stops immediately — the
+	// samples will never complete — and the failure does not count against
+	// any rung's circuit breaker.
+	ErrStreamAborted = errors.New("gateway: stream aborted before frame completed")
+
+	// ErrNoTraces reports an ingest directory that exists but holds no
+	// *.iq files — distinct from the directory itself being missing.
+	ErrNoTraces = errors.New("gateway: no traces found")
 )

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"choir/internal/backend"
+	"choir/internal/ctxutil"
 	"choir/internal/lora"
 	"choir/internal/trace"
 )
@@ -63,6 +64,26 @@ type Config struct {
 	// depend only on (Seed, frame ID, rung index) — never on timing or
 	// worker count.
 	Seed uint64
+	// Batch is the most frames one worker drains from the queue and decodes
+	// per wakeup (default 1: no batching). Above 1, queued frames are decoded
+	// through the first rung's BatchDecoder capability when the backend has
+	// one, keeping FFT plans and the spectral grid hot across frames; each
+	// frame's outcome is exactly what the serial ladder would have produced
+	// (same seeds, same rung walk on failure). Two caveats: DecodeTimeout
+	// bounds the whole first-rung batch rather than each frame's attempt,
+	// and breaker bookkeeping is batched — a batch checks the first rung's
+	// breaker for all of its frames before any of their results are
+	// recorded, so a trip can land a few frames later than it would have in
+	// strict serial order.
+	Batch int
+	// MaxConns caps concurrent TCP ingest connections (default 64). Accepts
+	// beyond the cap are shed: counted on gateway.conn.shed, told
+	// "error: too many connections", and closed without reading the trace.
+	MaxConns int
+	// ConnTimeout bounds each TCP connection's I/O: reading the trace (per
+	// chunk in streaming mode) and writing the status reply. 0 means no
+	// deadline, preserving the historical trust-the-peer behavior.
+	ConnTimeout time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -88,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if len(c.Ladder) == 0 {
 		c.Ladder = DefaultLadder()
 	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
 	return c
 }
 
@@ -100,10 +127,16 @@ type Frame struct {
 	// Header is the capture's trace metadata (PHY, payload length, ground
 	// truth when present).
 	Header trace.Header
-	// Samples is the IQ capture itself.
+	// Samples is the IQ capture itself. For a streaming frame this is the
+	// full backing array the peer is still filling; stream certifies how much
+	// of it is complete.
 	Samples []complex128
 
 	enqueued time.Time
+	// stream is non-nil for frames submitted while their samples are still
+	// arriving (ServeTCPStream); decode attempts wait on it via the
+	// choir.AvailFunc contract.
+	stream *streamBuffer
 }
 
 // OutcomeKind classifies a frame's terminal outcome.
@@ -281,10 +314,13 @@ func (g *Gateway) Stats() Stats {
 // began, or ctx firing while blocked under ShedBlock) was never accepted
 // and produces no outcome. ctx bounds only the submission itself.
 func (g *Gateway) Submit(ctx context.Context, source string, h trace.Header, samples []complex128) (uint64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	f := &Frame{Source: source, Header: h, Samples: samples}
+	return g.submitFrame(ctx, &Frame{Source: source, Header: h, Samples: samples})
+}
+
+// submitFrame is Submit's body, shared with the streaming ingest path (which
+// attaches a streamBuffer to the frame before submission).
+func (g *Gateway) submitFrame(ctx context.Context, f *Frame) (uint64, error) {
+	ctx = ctxutil.Background(ctx)
 	for {
 		g.mu.Lock()
 		if !g.accepting {
@@ -344,11 +380,15 @@ func (g *Gateway) Submit(ctx context.Context, source string, h trace.Header, sam
 }
 
 // worker is one decode goroutine: dequeue, run the recovery ladder, emit
-// the terminal outcome. On shutdown it first helps flush still-queued
+// the terminal outcome. With Config.Batch > 1 it drains up to Batch queued
+// frames per wakeup (never blocking for more) and decodes them as one
+// first-rung batch, falling back to the per-frame ladder for whatever the
+// batch path cannot take. On shutdown it first helps flush still-queued
 // frames as shed outcomes so the exactly-one-outcome invariant holds
 // through a hard stop.
 func (g *Gateway) worker() {
 	defer g.wg.Done()
+	var batch []*Frame // worker-local; reused across wakeups
 	for {
 		select {
 		case <-g.ctx.Done():
@@ -357,9 +397,33 @@ func (g *Gateway) worker() {
 		case f := <-g.queue:
 			g.signalSpace()
 			tQueueWait.Hist().Observe(time.Since(f.enqueued).Nanoseconds())
-			g.emit(g.decodeLadder(f))
+			if g.cfg.Batch <= 1 {
+				g.finish(f, g.decodeLadder(f))
+				continue
+			}
+			batch = append(batch[:0], f)
+			for len(batch) < g.cfg.Batch {
+				select {
+				case more := <-g.queue:
+					g.signalSpace()
+					tQueueWait.Hist().Observe(time.Since(more.enqueued).Nanoseconds())
+					batch = append(batch, more)
+					continue
+				default:
+				}
+				break
+			}
+			g.processBatch(batch)
 		}
 	}
+}
+
+// finish observes a processed frame's end-to-end latency (enqueue to
+// terminal outcome — the p99 the sustained-throughput benchmark reports)
+// and emits the outcome.
+func (g *Gateway) finish(f *Frame, o Outcome) {
+	tFrameLatency.Hist().Observe(time.Since(f.enqueued).Nanoseconds())
+	g.emit(o)
 }
 
 // signalSpace wakes at most one ShedBlock waiter after a dequeue.
@@ -422,9 +486,7 @@ func (g *Gateway) emit(o Outcome) {
 // concurrent calls share the first call's result.
 func (g *Gateway) Drain(ctx context.Context) error {
 	g.drainOnce.Do(func() {
-		if ctx == nil {
-			ctx = context.Background()
-		}
+		ctx = ctxutil.Background(ctx)
 		g.mu.Lock()
 		g.accepting = false
 		g.mu.Unlock()

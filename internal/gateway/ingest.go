@@ -4,14 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io/fs"
 	"net"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"choir/internal/ctxutil"
 	"choir/internal/trace"
 )
 
@@ -22,9 +23,7 @@ import (
 // rather than aborting the walk. The walk stops early when ctx fires or
 // the gateway stops accepting. It returns how many frames were accepted.
 func IngestFiles(ctx context.Context, g *Gateway, paths []string) (int, []error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = ctxutil.Background(ctx)
 	var errs []error
 	accepted := 0
 	for _, path := range expandDirs(paths, &errs) {
@@ -38,11 +37,10 @@ func IngestFiles(ctx context.Context, g *Gateway, paths []string) (int, []error)
 			continue
 		}
 		if _, err := g.Submit(ctx, path, h, samples); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
 			if errors.Is(err, ErrStopped) {
-				errs = append(errs, fmt.Errorf("%s: %w", path, err))
 				break
 			}
-			errs = append(errs, fmt.Errorf("%s: %w", path, err))
 			continue
 		}
 		accepted++
@@ -51,6 +49,7 @@ func IngestFiles(ctx context.Context, g *Gateway, paths []string) (int, []error)
 }
 
 // expandDirs replaces directory entries in paths with their *.iq contents.
+// A directory that exists but contains no traces is reported as ErrNoTraces.
 func expandDirs(paths []string, errs *[]error) []string {
 	var out []string
 	for _, p := range paths {
@@ -76,7 +75,7 @@ func expandDirs(paths []string, errs *[]error) []string {
 		}
 		sort.Strings(found)
 		if len(found) == 0 {
-			*errs = append(*errs, fmt.Errorf("%s: %w: no *.iq files", p, fs.ErrNotExist))
+			*errs = append(*errs, fmt.Errorf("%s: %w (no *.iq files)", p, ErrNoTraces))
 		}
 		out = append(out, found...)
 	}
@@ -99,11 +98,20 @@ func readTrace(path string) (trace.Header, []complex128, error) {
 // last sample. The peer then gets a one-line status reply
 // ("accepted <id>\n" or "error: <reason>\n") before the connection closes,
 // so backpressure under ShedBlock is visible to the sender as a delayed
-// reply. Returns nil on ctx-triggered shutdown.
+// reply. Concurrent connections are capped at Config.MaxConns (overflow is
+// shed with an error reply and counted on gateway.conn.shed) and each
+// connection's reads and replies are bounded by Config.ConnTimeout, so a
+// stalled or half-open peer cannot pin a handler goroutine forever.
+// Returns nil on ctx-triggered shutdown.
 func ServeTCP(ctx context.Context, g *Gateway, ln net.Listener) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	return g.serveConns(ctx, ln, g.handleEOFConn)
+}
+
+// serveConns is the accept loop shared by the EOF-delimited and streaming
+// TCP servers: listener shutdown via ctx, a MaxConns semaphore with shed
+// accounting, and a WaitGroup so no handler outlives the server.
+func (g *Gateway) serveConns(ctx context.Context, ln net.Listener, handle func(ctx context.Context, conn net.Conn)) error {
+	ctx = ctxutil.Background(ctx)
 	// Closing the listener is the only portable way to unblock Accept.
 	stop := make(chan struct{})
 	defer close(stop)
@@ -114,6 +122,7 @@ func ServeTCP(ctx context.Context, g *Gateway, ln net.Listener) error {
 		}
 		ln.Close()
 	}()
+	sem := make(chan struct{}, g.cfg.MaxConns)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -124,21 +133,52 @@ func ServeTCP(ctx context.Context, g *Gateway, ln net.Listener) error {
 			}
 			return fmt.Errorf("gateway: accept: %w", err)
 		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// At the connection cap: shed immediately instead of spawning
+			// an unbounded goroutine per peer during a flood.
+			mConnShed.Inc()
+			g.reply(conn, "error: too many connections\n")
+			conn.Close()
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
-			h, samples, err := trace.Read(conn)
-			if err != nil {
-				fmt.Fprintf(conn, "error: %v\n", err)
-				return
-			}
-			id, err := g.Submit(ctx, conn.RemoteAddr().String(), h, samples)
-			if err != nil {
-				fmt.Fprintf(conn, "error: %v\n", err)
-				return
-			}
-			fmt.Fprintf(conn, "accepted %d\n", id)
+			handle(ctx, conn)
 		}()
 	}
+}
+
+// reply writes a one-line status reply, bounded by ConnTimeout. A peer that
+// vanished or stalled past the deadline can't receive it; those failures
+// are counted on gateway.conn.reply_errors rather than silently dropped.
+func (g *Gateway) reply(conn net.Conn, format string, args ...any) {
+	if g.cfg.ConnTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(g.cfg.ConnTimeout))
+	}
+	if _, err := fmt.Fprintf(conn, format, args...); err != nil {
+		mReplyErrors.Inc()
+	}
+}
+
+// handleEOFConn reads one EOF-delimited trace and submits it.
+func (g *Gateway) handleEOFConn(ctx context.Context, conn net.Conn) {
+	if g.cfg.ConnTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(g.cfg.ConnTimeout))
+	}
+	h, samples, err := trace.Read(conn)
+	if err != nil {
+		g.reply(conn, "error: %v\n", err)
+		return
+	}
+	id, err := g.Submit(ctx, conn.RemoteAddr().String(), h, samples)
+	if err != nil {
+		g.reply(conn, "error: %v\n", err)
+		return
+	}
+	g.reply(conn, "accepted %d\n", id)
 }

@@ -172,15 +172,23 @@ func (b *breaker) isTripped() bool {
 // attempts it sleeps a seeded exponential backoff with jitter, cancelable
 // by the gateway context. Breaker-skipped rungs do not consume attempts.
 func (g *Gateway) decodeLadder(f *Frame) Outcome {
+	return g.runLadder(f, 0, 0, nil)
+}
+
+// runLadder is the ladder walk itself, resumable mid-ladder: startIdx is the
+// first rung index to consider, attempt the count of attempts already
+// consumed, and lastErr the most recent attempt's failure. decodeLadder is
+// runLadder(f, 0, 0, nil); the batch path replays a first-rung outcome and
+// resumes at runLadder(f, 1, ...) so a batched frame walks the exact rung
+// sequence, seeds and backoff schedule the serial ladder would have used.
+func (g *Gateway) runLadder(f *Frame, startIdx, attempt int, lastErr error) Outcome {
 	o := Outcome{FrameID: f.ID, Source: f.Source}
 	// Backoff jitter is seeded per frame so a replay of the same capture
 	// sequence schedules identically; it never influences decode results.
 	rng := rand.New(rand.NewPCG(g.cfg.Seed^f.ID, 0xBAC0FF))
 	last := len(g.rungs) - 1
 
-	var lastErr error
-	attempt := 0
-	for idx := 0; attempt < g.cfg.MaxAttempts; idx++ {
+	for idx := startIdx; attempt < g.cfg.MaxAttempts; idx++ {
 		stage := Stage(min(idx, last))
 		r := g.rungs[stage]
 		allowed, wasSkip := r.breaker.allow()
@@ -226,6 +234,12 @@ func (g *Gateway) decodeLadder(f *Frame) Outcome {
 			// retrying a decode that will only ever see a dead context.
 			break
 		}
+		if errors.Is(err, ErrStreamAborted) {
+			// The peer died before delivering the frame: the samples will
+			// never complete, so retries are pointless, and like shutdown
+			// this is an input failure, not evidence about the rung.
+			break
+		}
 		tripped := r.breaker.isTripped()
 		r.breaker.record(false)
 		if !tripped && r.breaker.isTripped() {
@@ -235,14 +249,21 @@ func (g *Gateway) decodeLadder(f *Frame) Outcome {
 			break
 		}
 	}
-	o.Kind = OutcomeFailed
-	o.Attempts = attempt
+	return g.failedOutcome(f, attempt, lastErr)
+}
+
+// failedOutcome builds the terminal OutcomeFailed for a frame whose ladder
+// walk ended after the given attempt count. A nil lastErr means every rung
+// was breaker-skipped before a single attempt ran.
+func (g *Gateway) failedOutcome(f *Frame, attempt int, lastErr error) Outcome {
 	if lastErr == nil {
-		// Every rung was breaker-skipped before a single attempt ran.
 		lastErr = errors.New("all rungs circuit-broken")
 	}
-	o.Err = fmt.Errorf("%w: %w", ErrLadderExhausted, lastErr)
-	return o
+	return Outcome{
+		FrameID: f.ID, Source: f.Source, Kind: OutcomeFailed,
+		Attempts: attempt,
+		Err:      fmt.Errorf("%w: %w", ErrLadderExhausted, lastErr),
+	}
 }
 
 // backoff sleeps the exponential-with-jitter delay before attempt k (k >=
@@ -298,18 +319,48 @@ func (g *Gateway) attempt(f *Frame, stage Stage, r *rung) (payloads [][]byte, us
 	b := pool.Get(exec.DeriveSeed(g.cfg.Seed, f.ID, uint64(stage)))
 	defer pool.Put(b)
 	sp := tDecode.Start()
-	res, err := backend.DecodeCtx(ctx, b, f.Samples, f.Header.PayloadLen)
+	res, err := g.decodeFrame(ctx, b, f)
 	sp.Stop()
 	if err != nil {
 		return nil, 0, err
 	}
+	payloads, users = collectPayloads(res)
+	if len(payloads) == 0 {
+		return nil, users, ErrNoPayloads
+	}
+	return payloads, users, nil
+}
+
+// collectPayloads pulls the recovered payloads out of a decode result.
+func collectPayloads(res *choir.Result) ([][]byte, int) {
+	var payloads [][]byte
 	for _, u := range res.Users {
 		if u.Decoded() {
 			payloads = append(payloads, u.Payload)
 		}
 	}
-	if len(payloads) == 0 {
-		return nil, len(res.Users), ErrNoPayloads
+	return payloads, len(res.Users)
+}
+
+// decodeFrame runs one backend over one frame's samples, routing streaming
+// frames through the backend's StreamDecoder capability so preamble
+// detection overlaps the network still delivering data symbols. Backends
+// without the capability (and retries after the stream completed — the wait
+// then returns immediately) decode the full buffer; either way the result
+// is bit-identical to decoding the completed capture.
+func (g *Gateway) decodeFrame(ctx context.Context, b backend.Backend, f *Frame) (*choir.Result, error) {
+	if f.stream == nil {
+		return backend.DecodeCtx(ctx, b, f.Samples, f.Header.PayloadLen)
 	}
-	return payloads, len(res.Users), nil
+	if sd, ok := b.(backend.StreamDecoder); ok {
+		res := &choir.Result{}
+		if err := sd.DecodeStreamCtxInto(ctx, res, f.Samples, f.Header.PayloadLen, f.stream.Avail); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	if err := f.stream.Avail(ctx, len(f.Samples)); err != nil {
+		return nil, err
+	}
+	return backend.DecodeCtx(ctx, b, f.Samples, f.Header.PayloadLen)
 }

@@ -32,8 +32,17 @@ var (
 	// aggregate into the same series, and reordering a ladder does not
 	// silently re-label its history. See newRung in ladder.go.
 
-	// Latency surfaces: time a frame waited in the queue, and time one
-	// decode attempt took.
-	tQueueWait = obs.NewTimer("gateway.queue_wait_ns")
-	tDecode    = obs.NewTimer("gateway.decode_attempt_ns")
+	// TCP ingest health: connections shed at the MaxConns cap, and status
+	// replies the peer never received (write failed or timed out).
+	mConnShed    = obs.NewCounter("gateway.conn.shed")
+	mReplyErrors = obs.NewCounter("gateway.conn.reply_errors")
+
+	// Latency surfaces: time a frame waited in the queue, time one decode
+	// attempt took, time one first-rung mini-batch took, and a frame's
+	// end-to-end enqueue-to-outcome latency (the p99 the sustained
+	// throughput benchmark reports).
+	tQueueWait    = obs.NewTimer("gateway.queue_wait_ns")
+	tDecode       = obs.NewTimer("gateway.decode_attempt_ns")
+	tBatchDecode  = obs.NewTimer("gateway.batch_decode_ns")
+	tFrameLatency = obs.NewTimer("gateway.frame_latency_ns")
 )

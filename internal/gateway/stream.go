@@ -1,0 +1,256 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"choir/internal/choir"
+	"choir/internal/trace"
+)
+
+// Streaming-protocol sanity bounds: a peer declaring a larger header or
+// frame than these is rejected before any allocation happens.
+const (
+	maxStreamHeader  = 1 << 20 // 1 MiB of JSON header
+	maxStreamSamples = 1 << 26 // 64M samples (1 GiB of IQ)
+)
+
+// streamBuffer coordinates one streaming frame between the connection
+// handler filling the backing array front to back and the decode worker
+// consuming it through the choir.AvailFunc contract. The writer publishes
+// progress under the mutex — that hand-off is the happens-before edge that
+// makes buf[:have] stable for the reader — while the regions beyond have
+// stay exclusively the writer's. The pulse channel supports the single
+// waiter the gateway has per frame (one worker decodes a frame at a time;
+// ladder retries run sequentially in that same goroutine).
+type streamBuffer struct {
+	buf []complex128
+
+	mu     sync.Mutex
+	have   int
+	done   bool
+	err    error // terminal abort, wrapping ErrStreamAborted
+	notify chan struct{}
+}
+
+func newStreamBuffer(n int) *streamBuffer {
+	return &streamBuffer{buf: make([]complex128, n), notify: make(chan struct{}, 1)}
+}
+
+func (s *streamBuffer) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// extend publishes n more completed samples. The writer must be done
+// writing buf[have : have+n] before calling.
+func (s *streamBuffer) extend(n int) {
+	s.mu.Lock()
+	s.have += n
+	s.mu.Unlock()
+	s.wake()
+}
+
+// complete marks the stream finished. A cause (or a close) before the full
+// frame arrived becomes the buffer's terminal ErrStreamAborted; a failure
+// after the last sample is irrelevant to the decode and is dropped.
+func (s *streamBuffer) complete(cause error) {
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		if s.have < len(s.buf) {
+			if cause == nil {
+				cause = io.ErrUnexpectedEOF
+			}
+			s.err = fmt.Errorf("%w: %v (%d/%d samples)", ErrStreamAborted, cause, s.have, len(s.buf))
+		}
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+// Avail implements choir.AvailFunc for the frame: it blocks until buf[:need]
+// is complete, the stream aborts, or ctx fires.
+func (s *streamBuffer) Avail(ctx context.Context, need int) error {
+	for {
+		s.mu.Lock()
+		have, done, err := s.have, s.done, s.err
+		s.mu.Unlock()
+		if have >= need {
+			return nil
+		}
+		if done {
+			if err == nil {
+				// complete() guarantees an error when the frame is short;
+				// keep a typed failure even if that ever changes.
+				err = fmt.Errorf("%w: stream ended at %d/%d samples", ErrStreamAborted, have, need)
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			// Type the wait's cancellation like the decoder's own stage
+			// polls would, so streamed frames fail inside the same taxonomy
+			// as everything else.
+			typed := choir.ErrCanceled
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				typed = choir.ErrDeadline
+			}
+			return fmt.Errorf("%w: %w", typed, ctx.Err())
+		case <-s.notify:
+		}
+	}
+}
+
+// ServeTCPStream accepts connections speaking the framed streaming
+// protocol — a little-endian uint32 header length, the JSON trace header, a
+// little-endian uint32 sample count, then the samples as little-endian
+// float64 I/Q pairs (trace.WriteFramed emits it) — and submits each frame
+// as soon as its header arrives, so preamble detection overlaps the network
+// still delivering data symbols. The peer gets "accepted <id>\n" right
+// after admission (or "error: <reason>\n"), then keeps streaming samples; a
+// connection that dies or stalls past Config.ConnTimeout mid-frame aborts
+// the in-flight decode with ErrStreamAborted, which still yields the
+// frame's single terminal outcome. Connection caps and shedding follow
+// ServeTCP. Returns nil on ctx-triggered shutdown.
+//
+// Streaming deployments should set ConnTimeout (and/or DecodeTimeout):
+// without either, a graceful Drain waits on a peer that goes silent
+// mid-frame for as long as the peer stays connected.
+func ServeTCPStream(ctx context.Context, g *Gateway, ln net.Listener) error {
+	return g.serveConns(ctx, ln, g.handleStreamConn)
+}
+
+// handleStreamConn services one framed streaming connection.
+func (g *Gateway) handleStreamConn(ctx context.Context, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	h, count, err := g.readStreamPreface(conn, br)
+	if err != nil {
+		g.reply(conn, "error: %v\n", err)
+		return
+	}
+	sb := newStreamBuffer(count)
+	f := &Frame{
+		Source:  conn.RemoteAddr().String(),
+		Header:  h,
+		Samples: sb.buf,
+		stream:  sb,
+	}
+	id, err := g.submitFrame(ctx, f)
+	if err != nil {
+		g.reply(conn, "error: %v\n", err)
+		return
+	}
+	// Acknowledge admission before the samples finish: the decode is
+	// already eligible to start on the preamble prefix.
+	g.reply(conn, "accepted %d\n", id)
+	sb.complete(g.streamSamples(conn, br, sb))
+}
+
+// readStreamPreface parses the framed protocol's header section with the
+// malformed-length guards applied before anything is allocated.
+func (g *Gateway) readStreamPreface(conn net.Conn, br *bufio.Reader) (trace.Header, int, error) {
+	if g.cfg.ConnTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(g.cfg.ConnTimeout))
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(br, n4[:]); err != nil {
+		return trace.Header{}, 0, fmt.Errorf("gateway: reading header length: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint32(n4[:])
+	if hlen == 0 || hlen > maxStreamHeader {
+		return trace.Header{}, 0, fmt.Errorf("gateway: header length %d out of range (max %d)", hlen, maxStreamHeader)
+	}
+	meta := make([]byte, hlen)
+	if _, err := io.ReadFull(br, meta); err != nil {
+		return trace.Header{}, 0, fmt.Errorf("gateway: reading header: %w", err)
+	}
+	var h trace.Header
+	if err := json.Unmarshal(meta, &h); err != nil {
+		return trace.Header{}, 0, fmt.Errorf("gateway: decoding header: %w", err)
+	}
+	if h.Magic != trace.Magic {
+		return trace.Header{}, 0, fmt.Errorf("gateway: bad magic %q", h.Magic)
+	}
+	if err := h.Params.Validate(); err != nil {
+		return trace.Header{}, 0, err
+	}
+	if _, err := io.ReadFull(br, n4[:]); err != nil {
+		return trace.Header{}, 0, fmt.Errorf("gateway: reading sample count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(n4[:])
+	if count == 0 || count > maxStreamSamples {
+		return trace.Header{}, 0, fmt.Errorf("gateway: sample count %d out of range (max %d)", count, maxStreamSamples)
+	}
+	return h, int(count), nil
+}
+
+// streamSamples copies the connection's sample bytes into the stream
+// buffer, publishing progress chunk by chunk so the decode can run ahead of
+// delivery. The ConnTimeout deadline is refreshed per chunk — it bounds
+// peer silence, not total frame time.
+func (g *Gateway) streamSamples(conn net.Conn, br *bufio.Reader, sb *streamBuffer) error {
+	var (
+		chunk  [8192]byte
+		carry  [16]byte
+		carryN int
+		filled int
+	)
+	count := len(sb.buf)
+	for filled < count {
+		if g.cfg.ConnTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(g.cfg.ConnTimeout))
+		}
+		n, err := br.Read(chunk[:])
+		if n > 0 {
+			data := chunk[:n]
+			start := filled
+			if carryN > 0 {
+				k := copy(carry[carryN:], data)
+				carryN += k
+				data = data[k:]
+				if carryN == 16 {
+					sb.buf[filled] = decodeSample(carry[:])
+					filled++
+					carryN = 0
+				}
+			}
+			for len(data) >= 16 && filled < count {
+				sb.buf[filled] = decodeSample(data)
+				filled++
+				data = data[16:]
+			}
+			if filled < count {
+				carryN += copy(carry[carryN:], data)
+			}
+			if filled > start {
+				sb.extend(filled - start)
+			}
+		}
+		if err != nil {
+			if filled == count {
+				return nil
+			}
+			return fmt.Errorf("gateway: reading samples: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeSample parses one little-endian float64 I/Q pair.
+func decodeSample(b []byte) complex128 {
+	re := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	im := math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	return complex(re, im)
+}

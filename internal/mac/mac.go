@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"choir/internal/ctxutil"
 )
 
 // NodeID identifies a client within a simulation.
@@ -299,9 +301,7 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = ctxutil.Background(ctx)
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 64
 	}

@@ -51,6 +51,42 @@ func Write(w io.Writer, h Header, samples []complex128) error {
 	return bw.Flush()
 }
 
+// WriteFramed serializes a trace in the length-prefixed streaming framing
+// the gateway's ServeTCPStream accepts: a little-endian uint32 header
+// length, the JSON header, a little-endian uint32 sample count, then the
+// samples as little-endian float64 I/Q pairs. Unlike Write's EOF-delimited
+// layout, the receiver knows the frame's size up front and can start
+// decoding before the last sample arrives.
+func WriteFramed(w io.Writer, h Header, samples []complex128) error {
+	h.Magic = Magic
+	meta, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(meta)))
+	if _, err := bw.Write(n4[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(samples)))
+	if _, err := bw.Write(n4[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	for _, v := range samples {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // Read parses a trace.
 func Read(r io.Reader) (Header, []complex128, error) {
 	br := bufio.NewReader(r)
