@@ -42,6 +42,7 @@ import (
 	"choir/internal/obs"
 	"choir/internal/radio"
 	"choir/internal/sim"
+	"choir/internal/sim/engine"
 	"choir/internal/trace"
 )
 
@@ -255,6 +256,10 @@ var (
 	// DeriveSeed deterministically mixes a base seed with trial
 	// coordinates, giving every parallel trial an independent stream.
 	DeriveSeed = exec.DeriveSeed
+	// SeedStart/SeedMix are DeriveSeed's incremental form: precompute a
+	// chain head once, then mix one coordinate per draw site.
+	SeedStart = exec.Start
+	SeedMix   = exec.Mix
 )
 
 // The three MAC schemes of the evaluation.
@@ -262,6 +267,60 @@ const (
 	SchemeAloha  = mac.SchemeAloha
 	SchemeOracle = mac.SchemeOracle
 	SchemeChoir  = mac.SchemeChoir
+)
+
+// City-scale engine (package internal/sim/engine): an event-driven MAC/sim
+// driver that skips idle node-slots entirely, resolves each node's channel
+// lazily at first wake, and fans spatially sharded partitions across a
+// worker pool — while staying bit-identical to a serial slot-walk
+// reference for every shard and worker count. See DESIGN.md §15.
+type (
+	// CityConfig parameterizes one city run (scheme, nodes, gateways,
+	// traffic, receiver model, driver, shards).
+	CityConfig = engine.Config
+	// CityMetrics is a run's aggregate outcome: arrivals, deliveries,
+	// per-SF splits, latency histogram, and event-driver work counters.
+	CityMetrics = engine.Metrics
+	// CityDriver selects the event engine or the slot-walk reference.
+	CityDriver = engine.Driver
+	// CitySweepPoint is one density in a sweep with its metrics.
+	CitySweepPoint = engine.SweepPoint
+	// SlotSuccess maps a slot's concurrent-transmitter count to a
+	// per-transmission decode probability; it is the receiver model the
+	// city engine (and mac.Run) evaluates in bulk per slot.
+	SlotSuccess = mac.SlotSuccess
+	// CityModelReceiver is a SlotSuccess backed by a success-probability
+	// table with an optional per-slot capacity cap.
+	CityModelReceiver = mac.ModelReceiver
+	// CityAlohaReceiver is the pure-ALOHA baseline: one transmitter
+	// decodes, two or more always collide.
+	CityAlohaReceiver = mac.AlohaReceiver
+)
+
+// City-scale engine entry points.
+var (
+	// RunCity executes one city under ctx and returns its metrics (nil
+	// metrics and the context's error if canceled mid-drain).
+	RunCity = engine.Run
+	// CityDensitySweep reruns the city across node counts; each point's
+	// seed derives from its index, so points are independent.
+	CityDensitySweep = engine.DensitySweep
+	// CitySweepFigure renders a sweep as a plot-ready figure.
+	CitySweepFigure = engine.SweepFigure
+	// FprintCitySweep writes a sweep as an aligned text table.
+	FprintCitySweep = engine.FprintSweep
+	// ParseCityDriver maps "event"/"slot" to a CityDriver.
+	ParseCityDriver = engine.ParseDriver
+	// AnalyticChoirTable builds the calibrated Choir success table used
+	// as the default city receiver model.
+	AnalyticChoirTable = sim.AnalyticChoirTable
+)
+
+// The two city drivers: the production event engine and the serial
+// reference it is equivalence-pinned against.
+const (
+	CityDriverEvent = engine.DriverEvent
+	CityDriverSlot  = engine.DriverSlot
 )
 
 // Fault injection (package internal/fault): deterministic, seeded IQ

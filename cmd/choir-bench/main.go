@@ -113,6 +113,11 @@ type Result struct {
 	// whose sustained throughput drops beyond the threshold fails.
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
 	P99LatencyNs float64 `json:"p99_latency_ns,omitempty"`
+	// EventsPerSec and PeakRSSBytes are set only by the city-scale engine
+	// benchmark. EventsPerSec is gated on -compare like FramesPerSec;
+	// PeakRSSBytes is informational (heap footprint after the runs).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	PeakRSSBytes float64 `json:"peak_rss_bytes,omitempty"`
 	// PinNs marks the benchmark as gated on ns/op regressions.
 	PinNs bool `json:"pin_ns"`
 	// PinAllocs marks the benchmark as gated on any allocs/op increase
@@ -193,6 +198,10 @@ func compareReports(w *os.File, old, cur *Report, threshold float64) int {
 		}
 		if nb.PinNs && ob.FramesPerSec > 0 && nb.FramesPerSec < ob.FramesPerSec*(1-threshold) {
 			gate = fmt.Sprintf("FAIL frames/sec %.0f -> %.0f", ob.FramesPerSec, nb.FramesPerSec)
+			failures++
+		}
+		if nb.PinNs && ob.EventsPerSec > 0 && nb.EventsPerSec < ob.EventsPerSec*(1-threshold) {
+			gate = fmt.Sprintf("FAIL events/sec %.0f -> %.0f", ob.EventsPerSec, nb.EventsPerSec)
 			failures++
 		}
 		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%% %s\n", name, ob.NsPerOp, nb.NsPerOp, delta*100, gate)

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 	"time"
 
@@ -37,6 +38,8 @@ func (bm benchmark) run() Result {
 		// benchmark doesn't emit them.
 		FramesPerSec: r.Extra["frames/sec"],
 		P99LatencyNs: r.Extra["p99-ns"],
+		EventsPerSec: r.Extra["events/sec"],
+		PeakRSSBytes: r.Extra["peak-rss-bytes"],
 		PinNs:        bm.PinNs,
 		PinAllocs:    bm.PinAllocs,
 	}
@@ -58,6 +61,7 @@ func suite() []benchmark {
 		{Name: "BenchmarkGatewaySerial", PinNs: true, Fn: benchGatewaySerial},
 		{Name: "BenchmarkGatewaySustained", PinNs: true, Fn: benchGatewaySustained},
 		{Name: "BenchmarkHeadline", PinNs: true, Fn: benchHeadline},
+		{Name: "BenchmarkCityScale", PinNs: true, Fn: benchCityScale},
 	}
 }
 
@@ -263,6 +267,43 @@ func benchDecodeEightUser(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchCityScale drives the event-driven city engine on a fixed 100k-node
+// single-gateway sparse-traffic city (the cmd twin of the engine package's
+// BenchmarkCityScale). Beyond ns/op it reports sustained events/sec — the
+// engine's real currency, since an event is the unit of useful work — and
+// the post-run heap footprint, so -compare catches both throughput
+// regressions and city-state bloat.
+func benchCityScale(b *testing.B) {
+	cfg := choir.CityConfig{
+		Scheme:         choir.SchemeChoir,
+		Driver:         choir.CityDriverEvent,
+		Nodes:          100_000,
+		Gateways:       1,
+		Slots:          2000,
+		ArrivalPerSlot: 2e-5,
+		SideM:          1200,
+		PayloadLen:     12,
+		Receiver:       choir.CityModelReceiver{Success: choir.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30},
+		Seed:           2026,
+		Shards:         8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		m, err := choir.RunCity(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += m.Events
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(ms.HeapInuse), "peak-rss-bytes")
 }
 
 func benchHeadline(b *testing.B) {

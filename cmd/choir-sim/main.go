@@ -7,12 +7,19 @@
 //	choir-sim -exp all                # everything (slow with -calibrate)
 //	choir-sim -exp fig8d -calibrate   # drive Choir with IQ-level Monte-Carlo
 //	choir-sim -exp faultsweep -fault drop -fault-rate 0.4
+//	choir-sim -exp city -nodes 100000,1000000   # city-scale density sweep
+//	choir-sim -exp city -engine slot -nodes 5000  # serial reference driver
 //	choir-sim -compare-backends       # head-to-head backend comparison
 //	choir-sim -compare-backends -backends choir,superposed \
 //	    -fixtures 'internal/choir/testdata/golden/*.iq'
 //
 // Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
-// fig11a fig11b fig12 e2e faultsweep headline all
+// fig11a fig11b fig12 e2e faultsweep headline city all
+//
+// -exp city runs the event-driven city-scale engine (DESIGN.md §15) as a
+// density sweep over -nodes, with -engine selecting the event driver or the
+// slot-walk reference (bit-identical metrics, different wall clock), and
+// -gateways/-shards/-arrival shaping the deployment.
 //
 // SIGINT/SIGTERM cancel the in-flight experiment cooperatively: no new
 // trial starts, the metrics snapshot still flushes, and the process exits
@@ -27,6 +34,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -61,6 +69,11 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	slots := fs.Int("slots", 4000, "MAC simulation length in slots")
 	seed := fs.Uint64("seed", 7, "simulation seed")
 	workers := fs.Int("workers", 0, "trial-execution workers (0 = all CPUs, 1 = serial); results are identical for any value")
+	engineName := fs.String("engine", "event", "city driver for -exp city: event (sharded event queue) or slot (serial reference)")
+	nodesList := fs.String("nodes", "1000,10000,100000", "comma-separated node counts for the -exp city density sweep")
+	gateways := fs.Int("gateways", 1, "gateway count for -exp city")
+	shards := fs.Int("shards", 0, "spatial shards for -exp city (0 = 1; metrics are identical for any value)")
+	arrival := fs.Float64("arrival", 2e-5, "per-node per-slot arrival probability for -exp city")
 	faultClass := fs.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
 	faultRate := fs.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
 	compare := fs.Bool("compare-backends", false, "run the head-to-head backend comparison instead of -exp")
@@ -223,6 +236,33 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			fig.Fprint(stdout)
 			return nil
 		},
+		"city": func(ctx context.Context) error {
+			driver, err := choir.ParseCityDriver(*engineName)
+			if err != nil {
+				return err
+			}
+			densities, err := parseNodeList(*nodesList)
+			if err != nil {
+				return err
+			}
+			base := choir.CityConfig{
+				Scheme:         choir.SchemeChoir,
+				Driver:         driver,
+				Gateways:       *gateways,
+				Slots:          *slots,
+				ArrivalPerSlot: *arrival,
+				Receiver:       choir.CityModelReceiver{Success: choir.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30},
+				Seed:           *seed,
+				Shards:         *shards,
+				Workers:        *workers,
+			}
+			points, err := choir.CityDensitySweep(ctx, base, densities)
+			if err != nil {
+				return err
+			}
+			choir.FprintCitySweep(stdout, points)
+			return nil
+		},
 		"headline": func(ctx context.Context) error {
 			h, err := choir.ComputeHeadlineCtx(ctx, cfg)
 			if err != nil {
@@ -238,7 +278,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	order := []string{"fig7ab", "fig7cd", "fig8abc", "fig8d", "fig8e", "fig8f",
-		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline"}
+		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline", "city"}
 
 	report := func(id string, err error) int {
 		// Interrupted and failed are different outcomes: a canceled context
@@ -270,6 +310,21 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return report(*exp, err)
 	}
 	return exitOK
+}
+
+// parseNodeList parses the -nodes flag: comma-separated positive node
+// counts, e.g. "1000,10000,100000".
+func parseNodeList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -nodes entry %q: want positive integers like 1000,10000", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func figUsers(cfg choir.ExperimentConfig, m choir.ExperimentMetric, stdout io.Writer) func(context.Context) error {

@@ -99,6 +99,24 @@ func TestDeriveSeedContract(t *testing.T) {
 	}
 }
 
+func TestSeedChainEquivalence(t *testing.T) {
+	// Start/Mix must fold to exactly DeriveSeed for every arity — the
+	// city-scale engine's allocation-free draws rely on the identity.
+	for base := uint64(0); base < 5; base++ {
+		dims := []uint64{9, 0, 1 << 40, 3, base}
+		h := exec.Start(base)
+		for n, d := range dims {
+			if want := exec.DeriveSeed(base, dims[:n]...); h != want {
+				t.Fatalf("chain(%d dims) = %#x, DeriveSeed = %#x", n, h, want)
+			}
+			h = exec.Mix(h, d)
+		}
+		if want := exec.DeriveSeed(base, dims...); h != want {
+			t.Fatalf("chain(full) = %#x, DeriveSeed = %#x", h, want)
+		}
+	}
+}
+
 func TestDecoderPoolRejectsBadConfig(t *testing.T) {
 	cfg := choir.DefaultConfig(lora.DefaultParams())
 	cfg.Pad = 1

@@ -28,7 +28,22 @@ func splitmix64(x uint64) uint64 {
 func DeriveSeed(base uint64, dims ...uint64) uint64 {
 	h := splitmix64(base)
 	for _, d := range dims {
-		h = splitmix64(h ^ splitmix64(d))
+		h = Mix(h, d)
 	}
 	return h
 }
+
+// Start begins an incremental DeriveSeed chain:
+//
+//	DeriveSeed(base, d1, ..., dn) == Mix(...Mix(Mix(Start(base), d1), d2)..., dn)
+//
+// The incremental form exists for hot loops that fold coordinates one at a
+// time (the city-scale engine derives billions of per-node draws this way):
+// unlike the variadic call it involves no slice, and a chain prefix shared
+// by many draws — (seed, dimension) for every node, say — can be hashed
+// once and reused. TestSeedChainEquivalence pins the identity above.
+func Start(base uint64) uint64 { return splitmix64(base) }
+
+// Mix folds one more logical coordinate into an incremental DeriveSeed
+// chain started with Start. See Start for the identity with DeriveSeed.
+func Mix(h, dim uint64) uint64 { return splitmix64(h ^ splitmix64(dim)) }

@@ -32,6 +32,30 @@ type Receiver interface {
 	Capacity() int
 }
 
+// SlotSuccess is the order-free slot-level PHY abstraction shared by this
+// package's slot loop and the city-scale engine (internal/sim/engine): the
+// probability that any one of k concurrent same-channel transmissions
+// decodes. Decode draws one Bernoulli(PerTxProb(k)) per transmitter, so a
+// driver that makes the same per-transmitter draws from any RNG layout
+// reproduces the same model — that property is what lets the event-driven
+// engine shard nodes while staying bit-identical to a serial slot walk.
+// Both built-in receivers implement it.
+type SlotSuccess interface {
+	// PerTxProb returns the probability that an individual transmission
+	// among k concurrent ones decodes. k >= 1.
+	PerTxProb(k int) float64
+	// Capacity is the maximum number of concurrent packets decodable per
+	// slot, as in Receiver.
+	Capacity() int
+}
+
+// Compile-time proof that both built-in receivers expose the shared
+// slot-success abstraction the city engine drives.
+var (
+	_ SlotSuccess = AlohaReceiver{}
+	_ SlotSuccess = ModelReceiver{}
+)
+
 // AlohaReceiver is the standard LoRaWAN base station: a slot delivers a
 // packet only when exactly one node transmits (collisions destroy all
 // packets on the same spreading factor).
@@ -43,6 +67,15 @@ func (AlohaReceiver) Decode(tx []NodeID, _ *rand.Rand) []NodeID {
 		return tx
 	}
 	return nil
+}
+
+// PerTxProb implements SlotSuccess: a lone transmission always decodes, any
+// collision destroys all packets.
+func (AlohaReceiver) PerTxProb(k int) float64 {
+	if k == 1 {
+		return 1
+	}
+	return 0
 }
 
 // Capacity implements Receiver.
@@ -76,12 +109,7 @@ func (m ModelReceiver) DecodeAppend(dst []NodeID, tx []NodeID, rng *rand.Rand) [
 	if len(tx) == 0 {
 		return dst
 	}
-	k := len(tx)
-	idx := k - 1
-	if idx >= len(m.Success) {
-		idx = len(m.Success) - 1
-	}
-	p := m.Success[idx]
+	p := m.PerTxProb(len(tx))
 	base := len(dst)
 	for _, id := range tx {
 		if rng.Float64() < p {
@@ -96,6 +124,20 @@ func (m ModelReceiver) DecodeAppend(dst []NodeID, tx []NodeID, rng *rand.Rand) [
 		dst = dst[:base+maxC]
 	}
 	return dst
+}
+
+// PerTxProb implements SlotSuccess: the calibrated per-packet decode
+// probability with k concurrent transmitters; indexes beyond the table use
+// the last entry, exactly as Decode always has.
+func (m ModelReceiver) PerTxProb(k int) float64 {
+	if len(m.Success) == 0 {
+		panic("mac: ModelReceiver with empty success table")
+	}
+	idx := k - 1
+	if idx >= len(m.Success) {
+		idx = len(m.Success) - 1
+	}
+	return m.Success[idx]
 }
 
 // Capacity implements Receiver.
@@ -235,46 +277,14 @@ func (m Metrics) TxPerDelivered() float64 {
 	return float64(m.Transmissions) / float64(m.Delivered)
 }
 
-// packet is one queued payload.
-type packet struct {
-	arrivalSlot int
-}
-
-// node is one client's MAC state. The queue is a head-indexed slice: pops
-// advance head instead of re-slicing, so the backing array's front capacity
-// is reclaimed (by compaction on push, or wholesale when the queue drains)
-// rather than leaked — with queue[1:] pops every node reallocated its queue
-// every QueueCap deliveries, which dominated the old slot loop's profile.
+// node is one client's MAC state: the shared head-indexed backlog Queue
+// (see queue.go — the city-scale engine runs the identical structure) plus
+// the ALOHA backoff machine.
 type node struct {
-	queue      []packet
-	head       int
+	queue      Queue
 	backoff    int // slots until allowed to transmit (ALOHA)
 	backoffExp int
 	attempts   int
-}
-
-// qlen returns the backlog length.
-func (n *node) qlen() int { return len(n.queue) - n.head }
-
-// push enqueues p, compacting the consumed front of the backing array before
-// growing it.
-func (n *node) push(p packet) {
-	if len(n.queue) == cap(n.queue) && n.head > 0 {
-		n.queue = n.queue[:copy(n.queue, n.queue[n.head:])]
-		n.head = 0
-	}
-	n.queue = append(n.queue, p)
-}
-
-// pop dequeues the oldest packet.
-func (n *node) pop() packet {
-	p := n.queue[n.head]
-	n.head++
-	if n.head == len(n.queue) {
-		n.queue = n.queue[:0]
-		n.head = 0
-	}
-	return p
 }
 
 // appendReceiver is an optional Receiver extension: DecodeAppend appends the
@@ -331,8 +341,8 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		// Arrivals.
 		for i := range nodes {
 			if cfg.ArrivalPerSlot >= 1 || rng.Float64() < cfg.ArrivalPerSlot {
-				if nodes[i].qlen() < cfg.QueueCap {
-					nodes[i].push(packet{arrivalSlot: slot})
+				if nodes[i].queue.Len() < cfg.QueueCap {
+					nodes[i].queue.Push(Packet{ArrivalSlot: slot})
 				} else {
 					m.Dropped++
 				}
@@ -345,7 +355,7 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		case SchemeAloha:
 			for i := range nodes {
 				n := &nodes[i]
-				if n.qlen() == 0 {
+				if n.queue.Len() == 0 {
 					continue
 				}
 				if n.backoff > 0 {
@@ -364,14 +374,14 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 			start := slot % cfg.Nodes
 			for k := 0; k < cfg.Nodes && len(tx) < capacity; k++ {
 				i := (start + k) % cfg.Nodes
-				if nodes[i].qlen() > 0 {
+				if nodes[i].queue.Len() > 0 {
 					tx = append(tx, NodeID(i))
 				}
 			}
 		case SchemeChoir:
 			// Beacon-coordinated: every backlogged node answers the beacon.
 			for i := range nodes {
-				if nodes[i].qlen() > 0 {
+				if nodes[i].queue.Len() > 0 {
 					tx = append(tx, NodeID(i))
 				}
 			}
@@ -409,9 +419,9 @@ func RunCtx(ctx context.Context, cfg Config, rx Receiver) (*Metrics, error) {
 		for _, id := range tx {
 			n := &nodes[id]
 			if ok[id] {
-				p := n.pop()
+				p := n.queue.Pop()
 				m.Delivered++
-				m.TotalLatencySlots += slot - p.arrivalSlot + 1
+				m.TotalLatencySlots += slot - p.ArrivalSlot + 1
 				n.backoffExp = 0
 				n.backoff = 0
 				n.attempts = 0

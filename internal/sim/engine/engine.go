@@ -1,0 +1,550 @@
+// Package engine is the city-scale network simulator: the same slotted MAC
+// model as internal/mac, driven event-style over millions of nodes spread
+// across a multi-gateway urban grid. Where internal/mac walks every node
+// every slot (right for the paper's 2-30 node cells), this engine keeps a
+// priority queue of node wake events per spatial shard and only touches
+// nodes with work, so a sparse-traffic million-node city costs O(events),
+// not O(nodes × slots).
+//
+// The load-bearing property is determinism by construction: every random
+// decision — arrival times, placement, shadowing, per-transmission decode
+// success, unslotted-ALOHA overlap, backoff — is a pure function of the run
+// seed and the decision's logical coordinates (node ID, slot, draw index)
+// via exec.DeriveSeed. No decision reads a shared RNG stream, so the slot
+// count of workers, the shard partition, and the driver (serial slot walk
+// vs sharded event queue) cannot reorder draws. DriverSlot and DriverEvent
+// therefore produce bit-identical Metrics; the equivalence property tests
+// pin that, which is what lets the fast driver claim to be the same model
+// rather than a lookalike.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"choir/internal/ctxutil"
+	"choir/internal/exec"
+	"choir/internal/lora"
+	"choir/internal/mac"
+	"choir/internal/sim"
+)
+
+// Driver selects how the simulation advances time.
+type Driver int
+
+const (
+	// DriverEvent is the sharded event-queue driver: per-shard priority
+	// queues of node wakes, phases fanned out through exec.Pool. The
+	// production driver.
+	DriverEvent Driver = iota
+	// DriverSlot is the serial reference driver: it walks every slot and
+	// scans every node, exactly like internal/mac's loop. It exists so the
+	// event driver has an independently-simple implementation of the same
+	// model to be equivalence-tested against.
+	DriverSlot
+)
+
+// String implements fmt.Stringer.
+func (d Driver) String() string {
+	switch d {
+	case DriverEvent:
+		return "event"
+	case DriverSlot:
+		return "slot"
+	default:
+		return fmt.Sprintf("Driver(%d)", int(d))
+	}
+}
+
+// ParseDriver maps the -engine flag values to a Driver.
+func ParseDriver(s string) (Driver, error) {
+	switch s {
+	case "event":
+		return DriverEvent, nil
+	case "slot":
+		return DriverSlot, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown driver %q (want event or slot)", s)
+	}
+}
+
+// Config parameterizes a city simulation.
+type Config struct {
+	// Scheme is the MAC under test: SchemeAloha or SchemeChoir.
+	// SchemeOracle is rejected — the genie scheduler needs a global view of
+	// every queue each slot, which is exactly what a sharded event engine
+	// does not have; the paper-figure oracle lives in internal/mac.
+	Scheme mac.Scheme
+	// Driver selects the time-advance strategy (default DriverEvent).
+	Driver Driver
+	// Nodes is the number of clients, laid out on a jittered √N×√N grid
+	// over the city square.
+	Nodes int
+	// Gateways is the number of base stations, on their own centered grid.
+	// Each node attaches to the nearest gateway. Default 1.
+	Gateways int
+	// Slots is the simulated horizon in slots.
+	Slots int
+	// ArrivalPerSlot is each node's per-slot packet generation probability
+	// (geometric inter-arrival). 0 disables traffic; 1 saturates.
+	ArrivalPerSlot float64
+	// QueueCap bounds each node's backlog; arrivals beyond it are dropped
+	// (counted). 0 means 64, as in internal/mac.
+	QueueCap int
+	// MaxBackoffExp caps ALOHA binary exponential backoff at
+	// 2^MaxBackoffExp slots (default 8).
+	MaxBackoffExp int
+	// Unslotted models pure ALOHA's adjacent-slot vulnerability, as in
+	// mac.Config.Unslotted. Only meaningful for SchemeAloha.
+	Unslotted bool
+	// SideM is the city square's side in meters. 0 derives a default that
+	// gives every gateway a ~1.6 km cell (the paper's urban single-client
+	// range is ~1 km).
+	SideM float64
+	// PayloadLen is the payload size in bytes (default 12), used for
+	// per-SF airtime accounting.
+	PayloadLen int
+	// SlotSeconds is the wall-clock slot length (default: SF12 airtime at
+	// PayloadLen plus 10% guard, so every rate fits in a slot).
+	SlotSeconds float64
+	// Receiver is the per-(gateway, SF) slot-level PHY: with k concurrent
+	// same-gateway same-SF transmissions, each decodes independently with
+	// probability Receiver.PerTxProb(k), and at most Receiver.Capacity()
+	// decode per group per slot.
+	Receiver mac.SlotSuccess
+	// Seed drives all randomness through exec.DeriveSeed.
+	Seed uint64
+	// Shards is the number of spatial node partitions (contiguous ID
+	// ranges = horizontal city bands). 0 means 1. Results are identical
+	// for every shard count.
+	Shards int
+	// Workers bounds fan-out concurrency (<=0 uses every CPU). Results are
+	// identical for every worker count.
+	Workers int
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Scheme == mac.SchemeOracle:
+		return fmt.Errorf("engine: SchemeOracle needs a global genie view and is not supported by the sharded engine; use internal/mac")
+	case c.Scheme != mac.SchemeAloha && c.Scheme != mac.SchemeChoir:
+		return fmt.Errorf("engine: unknown scheme %d", int(c.Scheme))
+	case c.Driver != DriverEvent && c.Driver != DriverSlot:
+		return fmt.Errorf("engine: unknown driver %d", int(c.Driver))
+	case c.Nodes <= 0:
+		return fmt.Errorf("engine: Nodes %d <= 0", c.Nodes)
+	case c.Gateways < 0:
+		return fmt.Errorf("engine: Gateways %d < 0", c.Gateways)
+	case c.Slots <= 0:
+		return fmt.Errorf("engine: Slots %d <= 0", c.Slots)
+	case c.ArrivalPerSlot < 0 || c.ArrivalPerSlot > 1 || math.IsNaN(c.ArrivalPerSlot):
+		return fmt.Errorf("engine: ArrivalPerSlot %g outside [0,1]", c.ArrivalPerSlot)
+	case c.QueueCap < 0:
+		return fmt.Errorf("engine: QueueCap %d < 0", c.QueueCap)
+	case c.MaxBackoffExp < 0 || c.MaxBackoffExp > 30:
+		return fmt.Errorf("engine: MaxBackoffExp %d outside [0,30]", c.MaxBackoffExp)
+	case c.SideM < 0 || math.IsNaN(c.SideM):
+		return fmt.Errorf("engine: SideM %g < 0", c.SideM)
+	case c.PayloadLen < 0:
+		return fmt.Errorf("engine: PayloadLen %d < 0", c.PayloadLen)
+	case c.SlotSeconds < 0 || math.IsNaN(c.SlotSeconds):
+		return fmt.Errorf("engine: SlotSeconds %g < 0", c.SlotSeconds)
+	case c.Receiver == nil:
+		return fmt.Errorf("engine: nil Receiver")
+	case c.Shards < 0:
+		return fmt.Errorf("engine: Shards %d < 0", c.Shards)
+	}
+	return nil
+}
+
+// Derived-draw dimension tags. Every random decision in the engine hashes
+// (Seed, one tag, stable logical coordinates); the tags keep independent
+// decision families from aliasing (DeriveSeed is order-sensitive, so a tag
+// prefix fully separates streams).
+const (
+	dimPos     = 1 // node placement jitter: (tag, node, axis)
+	dimShadow  = 2 // log-normal shadowing: (tag, node, draw)
+	dimArrival = 3 // geometric inter-arrival gaps: (tag, node, arrivalIdx)
+	dimDecode  = 4 // per-transmission decode Bernoulli: (tag, node, slot)
+	dimVeto    = 5 // unslotted-ALOHA overlap draws: (tag, node, slot, j)
+	dimBackoff = 6 // ALOHA backoff offset: (tag, node, slot)
+	dimSweep   = 7 // density-sweep per-point seeds: (tag, point, trial)
+)
+
+// unitOf maps a derived hash to a uniform float64 in [0,1), the same
+// 53-bit construction math/rand/v2 uses.
+func unitOf(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// nodeState is one client's compact MAC state, ~64 bytes: the engine's
+// memory is this flat array plus O(scheduled events + shards) — no
+// per-node metrics, maps, or pointers (queues allocate only once a node
+// actually backlogs).
+type nodeState struct {
+	queue mac.Queue
+	// nextArrival is the slot of the node's next traffic arrival, -1 none.
+	nextArrival int64
+	// nextTx is the slot of the node's next transmission attempt, -1 idle.
+	nextTx int64
+	// arrivalIdx counts arrivals drawn so far (the geometric draw index).
+	arrivalIdx uint64
+	// gw is the attached gateway, valid once sf != 0.
+	gw int32
+	// sf is the node's rate-adapted spreading factor: 0 = channel state
+	// not yet evaluated (lazy), -1 = out of range of every gateway,
+	// otherwise 7..12.
+	sf         int8
+	backoffExp uint8
+}
+
+// wakeOf returns the node's next wake slot: the earlier of its next
+// arrival and next transmission, -1 if neither is scheduled.
+func (ns *nodeState) wakeOf() int64 {
+	w := ns.nextArrival
+	if ns.nextTx >= 0 && (w < 0 || ns.nextTx < w) {
+		w = ns.nextTx
+	}
+	return w
+}
+
+// core is the shared model both drivers execute: configuration after
+// defaulting, the precomputed topology, the per-dimension hash-chain heads,
+// and the flat node-state array.
+type core struct {
+	cfg       Config
+	slots     int64
+	queueCap  int
+	maxBoExp  uint8
+	capacity  int
+	unslotted bool
+	logq      float64 // ln(1 - ArrivalPerSlot), for geometric gaps
+
+	// Topology: nodes on a jittered grid×grid layout over a sideM square,
+	// gateways on their own gwX×gwY grid at cell centers.
+	grid       int
+	cellM      float64
+	sideM      float64
+	gwCols     int
+	gwRows     int
+	gwPosX     []float64
+	gwPosY     []float64
+	noiseFloor float64
+	shadowSig  float64
+
+	// Per-dimension chain heads: hX = Mix(Start(seed), dimX), so one draw
+	// is one or two more Mix folds — no allocation, no shared stream.
+	hPos, hShadow, hArrival, hDecode, hVeto, hBackoff uint64
+
+	nodes []nodeState
+}
+
+// newCore applies defaults, precomputes the topology, and allocates the
+// node array. cfg must already be validated.
+func newCore(cfg Config) *core {
+	if cfg.Gateways == 0 {
+		cfg.Gateways = 1
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.MaxBackoffExp == 0 {
+		cfg.MaxBackoffExp = 8
+	}
+	if cfg.PayloadLen == 0 {
+		cfg.PayloadLen = 12
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Nodes {
+		cfg.Shards = cfg.Nodes
+	}
+	gwCols := int(math.Ceil(math.Sqrt(float64(cfg.Gateways))))
+	gwRows := (cfg.Gateways + gwCols - 1) / gwCols
+	if cfg.SideM == 0 {
+		// ~1.6 km per gateway cell: the paper's single-client urban range
+		// is ~1 km, so the default city is dense enough that most nodes
+		// reach a gateway but the far corners need the slow SFs.
+		cfg.SideM = 1600 * float64(gwCols)
+	}
+	if cfg.SlotSeconds == 0 {
+		p := sfParams(5) // SF12, the slowest rate
+		cfg.SlotSeconds = p.AirTime(cfg.PayloadLen) * 1.1
+	}
+
+	c := &core{
+		cfg:       cfg,
+		slots:     int64(cfg.Slots),
+		queueCap:  cfg.QueueCap,
+		maxBoExp:  uint8(cfg.MaxBackoffExp),
+		capacity:  cfg.Receiver.Capacity(),
+		unslotted: cfg.Unslotted && cfg.Scheme == mac.SchemeAloha,
+		grid:      int(math.Ceil(math.Sqrt(float64(cfg.Nodes)))),
+		sideM:     cfg.SideM,
+		gwCols:    gwCols,
+		gwRows:    gwRows,
+		nodes:     make([]nodeState, cfg.Nodes),
+	}
+	if c.capacity < 1 {
+		c.capacity = 1
+	}
+	if p := cfg.ArrivalPerSlot; p > 0 && p < 1 {
+		c.logq = math.Log1p(-p)
+	}
+	c.cellM = c.sideM / float64(c.grid)
+	for g := 0; g < cfg.Gateways; g++ {
+		col, row := g%gwCols, g/gwCols
+		c.gwPosX = append(c.gwPosX, (float64(col)+0.5)*c.sideM/float64(gwCols))
+		c.gwPosY = append(c.gwPosY, (float64(row)+0.5)*c.sideM/float64(gwRows))
+	}
+	pl := sim.UrbanChannel()
+	c.noiseFloor = sim.ReceiverConfig().NoiseFloorDBm
+	c.shadowSig = pl.ShadowSigmaDB
+
+	h0 := exec.Start(cfg.Seed)
+	c.hPos = exec.Mix(h0, dimPos)
+	c.hShadow = exec.Mix(h0, dimShadow)
+	c.hArrival = exec.Mix(h0, dimArrival)
+	c.hDecode = exec.Mix(h0, dimDecode)
+	c.hVeto = exec.Mix(h0, dimVeto)
+	c.hBackoff = exec.Mix(h0, dimBackoff)
+	return c
+}
+
+// ctxCheckInterval is how many driver iterations (slots for the reference
+// driver, active slots for the event driver) pass between context polls,
+// mirroring internal/mac's cadence.
+const ctxCheckInterval = 256
+
+// newMetrics returns a Metrics with the configuration echoes filled in
+// from the defaulted config; drivers accumulate the totals into it.
+func (c *core) newMetrics() *Metrics {
+	return &Metrics{
+		Nodes:       c.cfg.Nodes,
+		Gateways:    c.cfg.Gateways,
+		Slots:       c.cfg.Slots,
+		PayloadLen:  c.cfg.PayloadLen,
+		SlotSeconds: c.cfg.SlotSeconds,
+	}
+}
+
+// arrivalGap draws the geometric number of empty slots before node i's
+// arrival number idx. Saturated traffic (p >= 1) is gap 0 with no draw.
+func (c *core) arrivalGap(i int32, idx uint64) int64 {
+	if c.cfg.ArrivalPerSlot >= 1 {
+		return 0
+	}
+	u := unitOf(exec.Mix(exec.Mix(c.hArrival, uint64(i)), idx))
+	// floor(ln(1-u)/ln(1-p)): the standard geometric inverse-CDF. Both
+	// logs are <= 0, so the ratio is a finite non-negative count.
+	return int64(math.Log1p(-u) / c.logq)
+}
+
+// initArrivals seeds every node's first arrival. With no traffic the whole
+// city stays asleep (nextArrival, nextTx both -1 via zero→-1 init).
+func (c *core) initArrivals(i int32) {
+	ns := &c.nodes[i]
+	ns.nextTx = -1
+	if c.cfg.ArrivalPerSlot <= 0 {
+		ns.nextArrival = -1
+		return
+	}
+	ns.nextArrival = c.arrivalGap(i, 0)
+}
+
+// resolveChannel lazily evaluates node i's channel state on first wake:
+// position from the jittered grid, nearest gateway, median path loss plus
+// deterministic log-normal shadowing, then LoRaWAN rate adaptation. It
+// returns false — and parks the node forever — when even SF12 cannot reach
+// the gateway. The evaluation is pure in (Seed, i), so it never matters
+// which driver, shard, or worker performs it.
+func (c *core) resolveChannel(ns *nodeState, i int32) bool {
+	hp := exec.Mix(c.hPos, uint64(i))
+	col, row := int(i)%c.grid, int(i)/c.grid
+	x := (float64(col) + unitOf(exec.Mix(hp, 0))) * c.cellM
+	y := (float64(row) + unitOf(exec.Mix(hp, 1))) * c.cellM
+
+	gcol := int(x / c.sideM * float64(c.gwCols))
+	if gcol >= c.gwCols {
+		gcol = c.gwCols - 1
+	}
+	grow := int(y / c.sideM * float64(c.gwRows))
+	if grow >= c.gwRows {
+		grow = c.gwRows - 1
+	}
+	gw := grow*c.gwCols + gcol
+	if gw >= len(c.gwPosX) {
+		gw = len(c.gwPosX) - 1
+	}
+	d := math.Hypot(x-c.gwPosX[gw], y-c.gwPosY[gw])
+	if d < 1 {
+		d = 1
+	}
+
+	hs := exec.Mix(c.hShadow, uint64(i))
+	u1 := unitOf(exec.Mix(hs, 0))
+	u2 := unitOf(exec.Mix(hs, 1))
+	// Box-Muller on (1-u1, u2): log1p(-u1) keeps the argument nonzero.
+	z := math.Sqrt(-2*math.Log1p(-u1)) * math.Cos(2*math.Pi*u2)
+
+	loss := sim.UrbanChannel().LossDB(d, nil) + c.shadowSig*z
+	snr := sim.ClientPowerDBm - loss - c.noiseFloor
+	p, ok := sim.RateForSNR(snr)
+	if !ok {
+		ns.sf = -1
+		return false
+	}
+	ns.sf = int8(p.SF)
+	ns.gw = int32(gw)
+	return true
+}
+
+// groupOf returns the node's collision group: transmissions collide only
+// within one (gateway, spreading factor) pair — different SFs are
+// orthogonal and different gateways hear different cities.
+func (c *core) groupOf(ns *nodeState) uint32 {
+	return uint32(ns.gw)<<3 | uint32(ns.sf-7)
+}
+
+// wakeNode processes node i's wake at slot s — the lazy channel
+// evaluation, a due arrival if any, and the tx-due decision — and reports
+// whether the node transmits this slot. Both drivers call exactly this.
+func (c *core) wakeNode(ns *nodeState, i int32, s int64, m *Metrics) bool {
+	if ns.sf == 0 && !c.resolveChannel(ns, i) {
+		m.Unreachable++
+		ns.nextArrival = -1
+		ns.nextTx = -1
+		return false
+	}
+	if ns.nextArrival == s {
+		m.Arrivals++
+		if ns.queue.Len() < c.queueCap {
+			ns.queue.Push(mac.Packet{ArrivalSlot: int(s)})
+			if ns.nextTx < 0 {
+				// An idle node answers a fresh arrival in the same slot.
+				ns.nextTx = s
+			}
+		} else {
+			m.Dropped++
+		}
+		ns.arrivalIdx++
+		ns.nextArrival = s + 1 + c.arrivalGap(i, ns.arrivalIdx)
+	}
+	return ns.nextTx == s && ns.queue.Len() > 0
+}
+
+// decodeDraw is the per-transmission Bernoulli draw: with k concurrent
+// same-group transmissions each decodes with probability PerTxProb(k).
+func (c *core) decodeDraw(i int32, s int64) float64 {
+	return unitOf(exec.Mix(exec.Mix(c.hDecode, uint64(i)), uint64(s)))
+}
+
+// vetoed applies the unslotted-ALOHA adjacent-slot overlap model to a
+// decoded transmission, mirroring mac.RunCtx: each of the previous slot's
+// prevK same-group transmissions (standing in for both neighbours, hence
+// 2×) overlaps and destroys the packet with probability 1/2.
+func (c *core) vetoed(i int32, s int64, prevK int32) bool {
+	if !c.unslotted || prevK <= 0 {
+		return false
+	}
+	h := exec.Mix(exec.Mix(c.hVeto, uint64(i)), uint64(s))
+	for j := int32(0); j < 2*prevK; j++ {
+		if unitOf(exec.Mix(h, uint64(j))) < 0.5 {
+			return true
+		}
+	}
+	return false
+}
+
+// finishTx settles node i's transmission at slot s — delivery accounting
+// or the scheme's retry policy — and schedules the node's next attempt.
+func (c *core) finishTx(ns *nodeState, i int32, s int64, delivered bool, m *Metrics) {
+	sfIdx := int(ns.sf) - 7
+	m.Transmissions++
+	m.PerSFTx[sfIdx]++
+	if delivered {
+		p := ns.queue.Pop()
+		lat := s - int64(p.ArrivalSlot) + 1
+		m.Delivered++
+		m.PerSFDelivered[sfIdx]++
+		m.TotalLatencySlots += lat
+		m.LatencyHist[latencyBucket(lat)]++
+		ns.backoffExp = 0
+		if ns.queue.Len() > 0 {
+			ns.nextTx = s + 1
+		} else {
+			ns.nextTx = -1
+		}
+		return
+	}
+	m.CollidedTx++
+	if c.cfg.Scheme == mac.SchemeAloha {
+		// Binary exponential backoff; the window is a power of two, so
+		// masking the derived hash is exactly uniform.
+		if ns.backoffExp < c.maxBoExp {
+			ns.backoffExp++
+		}
+		w := uint64(1) << ns.backoffExp
+		off := exec.Mix(exec.Mix(c.hBackoff, uint64(i)), uint64(s)) & (w - 1)
+		ns.nextTx = s + 1 + int64(off)
+	} else {
+		// Choir: every backlogged node answers the next beacon.
+		ns.nextTx = s + 1
+	}
+}
+
+// latencyBucket maps a delivery latency (in slots, >= 1) to its
+// power-of-two histogram bucket, saturating in the last one.
+func latencyBucket(lat int64) int {
+	b := bits.Len64(uint64(lat)) - 1
+	if b >= len(Metrics{}.LatencyHist) {
+		b = len(Metrics{}.LatencyHist) - 1
+	}
+	return b
+}
+
+// sfParams returns the PHY configuration for spreading-factor index
+// 0..5 (SF7..SF12), with the code rates LoRaWAN rate adaptation picks
+// (mirroring sim.RateForSNR).
+func sfParams(sfIdx int) lora.Params {
+	p := lora.DefaultParams()
+	p.SF = lora.SF7 + lora.SpreadingFactor(sfIdx)
+	if p.SF <= lora.SF8 {
+		p.CR = lora.CR46
+	} else {
+		p.CR = lora.CR48
+	}
+	return p
+}
+
+// Run simulates the configured city and returns its metrics. Results are
+// a pure function of Config minus {Driver, Shards, Workers}: the
+// equivalence tests pin that both drivers at any shard/worker split return
+// bit-identical Metrics.
+func Run(ctx context.Context, cfg Config) (*Metrics, error) {
+	if cfg.Gateways == 0 {
+		cfg.Gateways = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx = ctxutil.Background(ctx)
+	c := newCore(cfg)
+	var (
+		m   *Metrics
+		err error
+	)
+	switch cfg.Driver {
+	case DriverSlot:
+		m, err = runSlot(ctx, c)
+	default:
+		m, err = runEvent(ctx, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.record()
+	return m, nil
+}

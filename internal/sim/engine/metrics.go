@@ -1,0 +1,134 @@
+package engine
+
+import "choir/internal/obs"
+
+// Metrics is a city run's aggregate result. Every field is a plain
+// integer total or a fixed-size histogram, accumulated per shard and
+// folded in shard order, so two runs of the same model are comparable
+// with reflect.DeepEqual — the equivalence harness does exactly that.
+// The struct deliberately echoes the result-affecting configuration
+// (Nodes .. SlotSeconds) and excludes Driver/Shards/Workers, which must
+// not affect results.
+type Metrics struct {
+	// Configuration echoes.
+	Nodes       int
+	Gateways    int
+	Slots       int
+	PayloadLen  int
+	SlotSeconds float64
+
+	// Traffic totals.
+	Arrivals  int64
+	Delivered int64
+	Dropped   int64
+	// Unreachable counts nodes whose channel evaluation found no gateway
+	// within even SF12 range (counted once, at first wake).
+	Unreachable int64
+
+	// Airtime accounting.
+	Transmissions int64
+	// CollidedTx counts transmissions that failed — collision loss,
+	// capacity overflow, or adjacent-slot overlap.
+	CollidedTx int64
+	// PerSFTx / PerSFDelivered split transmissions and deliveries by
+	// spreading factor (index 0 = SF7 .. 5 = SF12).
+	PerSFTx        [6]int64
+	PerSFDelivered [6]int64
+
+	// Latency.
+	TotalLatencySlots int64
+	// LatencyHist buckets delivery latency in slots by powers of two:
+	// bucket b holds latencies in [2^b, 2^(b+1)), the last saturates.
+	LatencyHist [17]int64
+
+	// Engine work: node-wake events processed and distinct slots that had
+	// any — the event driver's cost is O(Events), not O(Nodes × Slots).
+	Events      int64
+	ActiveSlots int64
+}
+
+// add folds another shard's totals in (configuration echoes are left
+// alone; integer addition keeps the fold order-independent).
+func (m *Metrics) add(o *Metrics) {
+	m.Arrivals += o.Arrivals
+	m.Delivered += o.Delivered
+	m.Dropped += o.Dropped
+	m.Unreachable += o.Unreachable
+	m.Transmissions += o.Transmissions
+	m.CollidedTx += o.CollidedTx
+	for i := range m.PerSFTx {
+		m.PerSFTx[i] += o.PerSFTx[i]
+		m.PerSFDelivered[i] += o.PerSFDelivered[i]
+	}
+	m.TotalLatencySlots += o.TotalLatencySlots
+	for i := range m.LatencyHist {
+		m.LatencyHist[i] += o.LatencyHist[i]
+	}
+	m.Events += o.Events
+	m.ActiveSlots += o.ActiveSlots
+}
+
+// GoodputBps returns delivered payload bits per second across the city.
+func (m *Metrics) GoodputBps() float64 {
+	return float64(m.Delivered*int64(m.PayloadLen)*8) / (float64(m.Slots) * m.SlotSeconds)
+}
+
+// DeliveryRatio returns delivered / arrivals (1 when there was no
+// traffic).
+func (m *Metrics) DeliveryRatio() float64 {
+	if m.Arrivals == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Arrivals)
+}
+
+// MeanLatencySeconds returns the mean arrival-to-delivery latency.
+func (m *Metrics) MeanLatencySeconds() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.TotalLatencySlots) / float64(m.Delivered) * m.SlotSeconds
+}
+
+// AirtimeSeconds returns the total on-air time spent by every
+// transmission, from the per-SF transmission counts and the rate-adapted
+// PHY parameters at PayloadLen. Summed in SF order, so it is as
+// deterministic as the counts themselves.
+func (m *Metrics) AirtimeSeconds() float64 {
+	total := 0.0
+	for i, n := range m.PerSFTx {
+		if n > 0 {
+			total += float64(n) * sfParams(i).AirTime(m.PayloadLen)
+		}
+	}
+	return total
+}
+
+// City-engine observability: cumulative totals across every completed Run
+// in the process. Recorded exactly once, when a run completes — a
+// canceled run records nothing, so retries can never double-count
+// (TestRunCancelMidDrain pins this).
+var (
+	cRuns          = obs.NewCounter("city.runs")
+	cEvents        = obs.NewCounter("city.events")
+	cActiveSlots   = obs.NewCounter("city.active_slots")
+	cArrivals      = obs.NewCounter("city.arrivals")
+	cDelivered     = obs.NewCounter("city.delivered")
+	cDropped       = obs.NewCounter("city.dropped")
+	cTransmissions = obs.NewCounter("city.transmissions")
+	cCollidedTx    = obs.NewCounter("city.collided_tx")
+	cUnreachable   = obs.NewCounter("city.unreachable")
+)
+
+// record streams the run's totals into the process-wide obs registry.
+func (m *Metrics) record() {
+	cRuns.Inc()
+	cEvents.Add(m.Events)
+	cActiveSlots.Add(m.ActiveSlots)
+	cArrivals.Add(m.Arrivals)
+	cDelivered.Add(m.Delivered)
+	cDropped.Add(m.Dropped)
+	cTransmissions.Add(m.Transmissions)
+	cCollidedTx.Add(m.CollidedTx)
+	cUnreachable.Add(m.Unreachable)
+}

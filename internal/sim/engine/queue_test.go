@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// modelQueue is the sort-based reference the heap is checked against: a
+// plain map of scheduled wakes, popped by scanning for the (slot, id)
+// minimum.
+type modelQueue map[int32]int64
+
+func (m modelQueue) minEntry() (int32, int64, bool) {
+	best, bestSlot, found := int32(0), int64(0), false
+	for id, s := range m {
+		if !found || s < bestSlot || (s == bestSlot && id < best) {
+			best, bestSlot, found = id, s, true
+		}
+	}
+	return best, bestSlot, found
+}
+
+// checkAgainstModel drains both queues side by side and fails on the
+// first divergence in length, min slot, or pop order.
+func checkAgainstModel(t *testing.T, q *EventQueue, model modelQueue) {
+	t.Helper()
+	if q.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", q.Len(), len(model))
+	}
+	for len(model) > 0 {
+		wantID, wantSlot, _ := model.minEntry()
+		if ms := q.MinSlot(); ms != wantSlot {
+			t.Fatalf("MinSlot = %d, want %d", ms, wantSlot)
+		}
+		id, slot := q.PopMin()
+		if id != wantID || slot != wantSlot {
+			t.Fatalf("PopMin = (%d,%d), want (%d,%d)", id, slot, wantID, wantSlot)
+		}
+		delete(model, id)
+	}
+	if q.Len() != 0 || q.MinSlot() != -1 {
+		t.Fatalf("drained queue: Len=%d MinSlot=%d", q.Len(), q.MinSlot())
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue(16)
+	model := modelQueue{}
+	// Equal slots with interleaved insert order: pops must come back in
+	// ascending node order regardless.
+	for _, id := range []int32{9, 3, 12, 0, 7} {
+		q.Set(id, 5)
+		model[id] = 5
+	}
+	q.Set(4, 2)
+	model[4] = 2
+	// Reschedule one equal-slot entry forward and one backward.
+	q.Set(12, 1)
+	model[12] = 1
+	q.Set(3, 9)
+	model[3] = 9
+	// Cancel an entry outright, and cancel a missing one (no-op).
+	q.Set(7, -1)
+	delete(model, 7)
+	q.Set(15, -1)
+	checkAgainstModel(t, q, model)
+}
+
+func TestEventQueueRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.IntN(32)
+		q := NewEventQueue(n)
+		model := modelQueue{}
+		for op := 0; op < 200; op++ {
+			id := int32(rng.IntN(n))
+			switch rng.IntN(4) {
+			case 0, 1: // schedule / reschedule
+				s := int64(rng.IntN(50))
+				q.Set(id, s)
+				model[id] = s
+			case 2: // cancel
+				q.Set(id, -1)
+				delete(model, id)
+			default: // pop
+				if len(model) == 0 {
+					continue
+				}
+				wantID, wantSlot, _ := model.minEntry()
+				gotID, gotSlot := q.PopMin()
+				if gotID != wantID || gotSlot != wantSlot {
+					t.Fatalf("round %d op %d: PopMin = (%d,%d), want (%d,%d)",
+						round, op, gotID, gotSlot, wantID, wantSlot)
+				}
+				delete(model, wantID)
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("round %d op %d: Len = %d, model %d", round, op, q.Len(), len(model))
+			}
+		}
+		checkAgainstModel(t, q, model)
+	}
+}
+
+// FuzzEventQueue feeds arbitrary push/reschedule/cancel/pop programs to
+// the heap and cross-checks every observable against the sort-based
+// model. The property under fuzz is total: ordering by (slot, node),
+// equal-slot tie-break stability, reschedule correctness in both
+// directions, and Len/MinSlot consistency after every operation.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 0, 2, 5, 3, 3})
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 2, 0, 3})
+	f.Add([]byte{0, 7, 200, 1, 7, 3, 2, 7, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const n = 24
+		q := NewEventQueue(n)
+		model := modelQueue{}
+		for i := 0; i+2 < len(program); i += 3 {
+			op, id := program[i]%4, int32(program[i+1]%n)
+			slot := int64(program[i+2])
+			switch op {
+			case 0, 1:
+				q.Set(id, slot)
+				model[id] = slot
+			case 2:
+				q.Set(id, -1)
+				delete(model, id)
+			default:
+				if len(model) == 0 {
+					if q.Len() != 0 {
+						t.Fatalf("model empty, queue has %d", q.Len())
+					}
+					continue
+				}
+				wantID, wantSlot, _ := model.minEntry()
+				gotID, gotSlot := q.PopMin()
+				if gotID != wantID || gotSlot != wantSlot {
+					t.Fatalf("PopMin = (%d,%d), want (%d,%d)", gotID, gotSlot, wantID, wantSlot)
+				}
+				delete(model, wantID)
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", q.Len(), len(model))
+			}
+			wantMin := int64(-1)
+			if _, s, ok := model.minEntry(); ok {
+				wantMin = s
+			}
+			if got := q.MinSlot(); got != wantMin {
+				t.Fatalf("MinSlot = %d, want %d", got, wantMin)
+			}
+		}
+		// Drain: the survivors must come out in exact (slot, id) order.
+		type entry struct {
+			id   int32
+			slot int64
+		}
+		var want []entry
+		for id, s := range model {
+			want = append(want, entry{id, s})
+		}
+		sort.Slice(want, func(a, b int) bool {
+			return want[a].slot < want[b].slot ||
+				(want[a].slot == want[b].slot && want[a].id < want[b].id)
+		})
+		for _, w := range want {
+			id, slot := q.PopMin()
+			if id != w.id || slot != w.slot {
+				t.Fatalf("drain: got (%d,%d), want (%d,%d)", id, slot, w.id, w.slot)
+			}
+		}
+	})
+}

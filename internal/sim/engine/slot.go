@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// runSlot is the serial reference driver: it walks every slot in order and
+// scans every node for due work, the way internal/mac's loop does. It is
+// deliberately the simplest possible execution of the model in engine.go —
+// no event queue, no shards, no phases — so the equivalence property tests
+// can hold the event driver to it bit for bit. O(Nodes × Slots): use it
+// for small cities and for validation, not for the million-node sweeps.
+func runSlot(ctx context.Context, c *core) (*Metrics, error) {
+	m := c.newMetrics()
+	for i := range c.nodes {
+		c.initArrivals(int32(i))
+	}
+	var (
+		txNodes    []int32
+		counts     = map[uint32]int32{}
+		lastCounts = map[uint32]int32{}
+		probs      = map[uint32]float64{}
+		taken      = map[uint32]int32{}
+		lastSlot   = int64(-2)
+	)
+	for s := int64(0); s < c.slots; s++ {
+		if s%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("engine: run canceled at slot %d/%d: %w", s, c.slots, ctx.Err())
+		}
+		txNodes = txNodes[:0]
+		clear(counts)
+		active := false
+		for i := range c.nodes {
+			ns := &c.nodes[i]
+			if ns.nextArrival != s && ns.nextTx != s {
+				continue
+			}
+			active = true
+			m.Events++
+			if c.wakeNode(ns, int32(i), s, m) {
+				txNodes = append(txNodes, int32(i))
+				counts[c.groupOf(ns)]++
+			}
+		}
+		if !active {
+			continue
+		}
+		m.ActiveSlots++
+
+		clear(probs)
+		clear(taken)
+		for g, k := range counts {
+			probs[g] = c.cfg.Receiver.PerTxProb(int(k))
+		}
+		prevContig := lastSlot == s-1
+		for _, i := range txNodes {
+			ns := &c.nodes[i]
+			g := c.groupOf(ns)
+			// A transmission survives when its Bernoulli decode draw
+			// succeeds and it is among the first Capacity() successes of
+			// its (gateway, SF) group in ascending node order.
+			kept := false
+			if c.decodeDraw(i, s) < probs[g] && taken[g] < int32(c.capacity) {
+				taken[g]++
+				kept = true
+			}
+			var prevK int32
+			if prevContig {
+				prevK = lastCounts[g]
+			}
+			c.finishTx(ns, i, s, kept && !c.vetoed(i, s, prevK), m)
+		}
+		lastSlot = s
+		lastCounts, counts = counts, lastCounts
+	}
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"choir/internal/exec"
+	"choir/internal/sim"
+)
+
+// SweepPoint is one density in a sweep: the node count it simulated and
+// the resulting metrics.
+type SweepPoint struct {
+	Nodes   int
+	Metrics *Metrics
+}
+
+// DensitySweep runs the city at each node count in densities, holding the
+// rest of base fixed. Every point derives its own seed from its logical
+// coordinates — exec.DeriveSeed(base.Seed, dimSweep, point index) — not
+// from any loop-carried RNG state, so adding, removing, or reordering
+// densities, or re-sharding the runs themselves, never changes another
+// point's draws.
+func DensitySweep(ctx context.Context, base Config, densities []int) ([]SweepPoint, error) {
+	if len(densities) == 0 {
+		return nil, fmt.Errorf("engine: density sweep with no node counts")
+	}
+	points := make([]SweepPoint, 0, len(densities))
+	for pi, n := range densities {
+		cfg := base
+		cfg.Nodes = n
+		cfg.Seed = exec.DeriveSeed(base.Seed, dimSweep, uint64(pi))
+		m, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: density sweep point %d (%d nodes): %w", pi, n, err)
+		}
+		points = append(points, SweepPoint{Nodes: n, Metrics: m})
+	}
+	return points, nil
+}
+
+// SweepFigure renders a density sweep as a plot-ready figure: goodput and
+// delivery ratio versus node count.
+func SweepFigure(points []SweepPoint) *sim.Figure {
+	fig := &sim.Figure{
+		ID:     "city-density",
+		Title:  "city-scale density sweep",
+		XLabel: "# nodes",
+		YLabel: "goodput (bits/s) / delivery ratio",
+	}
+	goodput := sim.Series{Name: "goodput (bits/s)"}
+	ratio := sim.Series{Name: "delivery ratio"}
+	for _, p := range points {
+		x := float64(p.Nodes)
+		goodput.X = append(goodput.X, x)
+		goodput.Y = append(goodput.Y, p.Metrics.GoodputBps())
+		ratio.X = append(ratio.X, x)
+		ratio.Y = append(ratio.Y, p.Metrics.DeliveryRatio())
+	}
+	fig.Series = []sim.Series{goodput, ratio}
+	return fig
+}
+
+// FprintSweep writes the sweep as an aligned text table.
+func FprintSweep(w io.Writer, points []SweepPoint) {
+	fmt.Fprintf(w, "%10s %10s %10s %10s %12s %10s %12s %12s\n",
+		"nodes", "arrivals", "delivered", "dropped", "goodput", "ratio", "airtime_s", "events")
+	for _, p := range points {
+		m := p.Metrics
+		fmt.Fprintf(w, "%10d %10d %10d %10d %12.1f %10.4f %12.1f %12d\n",
+			p.Nodes, m.Arrivals, m.Delivered, m.Dropped,
+			m.GoodputBps(), m.DeliveryRatio(), m.AirtimeSeconds(), m.Events)
+	}
+}
