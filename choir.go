@@ -37,6 +37,7 @@ import (
 	"choir/internal/exec"
 	"choir/internal/fault"
 	"choir/internal/gateway"
+	"choir/internal/gateway/journal"
 	"choir/internal/lora"
 	"choir/internal/mac"
 	"choir/internal/obs"
@@ -472,6 +473,13 @@ type (
 	// TraceHeader is the metadata header of an IQ trace file or streamed
 	// frame (PHY params, payload length).
 	TraceHeader = trace.Header
+	// GatewayRecovery is what a restart finds in a write-ahead journal
+	// directory: frames admitted but never finished (replayed ahead of new
+	// ingest) and frame IDs whose completion outlived the crash.
+	GatewayRecovery = journal.Recovery
+	// JournalEntry is one journaled frame: its gateway-assigned ID plus the
+	// trace header and IQ samples needed to decode it again.
+	JournalEntry = journal.Entry
 )
 
 // Gateway constructors, ingest helpers, and typed errors.
@@ -500,6 +508,10 @@ var (
 	// DefaultGatewayLadder returns the default decode-recovery ladder as an
 	// ordered list of registered backend names.
 	DefaultGatewayLadder = gateway.DefaultLadder
+	// GatewayRecover inspects a write-ahead journal directory without
+	// opening a gateway on it: what a gateway configured with that
+	// JournalDir would replay at startup.
+	GatewayRecover = gateway.Recover
 
 	// ErrGatewayStopped reports a submit to a draining or stopped gateway.
 	ErrGatewayStopped = gateway.ErrStopped
@@ -521,6 +533,9 @@ var (
 	// ErrGatewayNoTraces reports an ingest directory that exists but holds
 	// no *.iq traces.
 	ErrGatewayNoTraces = gateway.ErrNoTraces
+	// ErrGatewayJournal reports a write-ahead journal append failure during
+	// admission: the frame was refused rather than accepted undurably.
+	ErrGatewayJournal = gateway.ErrJournal
 )
 
 // Shedding policies and ladder stages.
@@ -564,4 +579,14 @@ var (
 	// and returns the bound address plus a shutdown function that stops the
 	// server cleanly (graceful drain bounded by the shutdown context).
 	ServeDebug = obs.ServeDebug
+	// RegisterHealthCheck adds (or, with a nil check, removes) a named
+	// liveness check served at /healthz by ServeDebug.
+	RegisterHealthCheck = obs.RegisterHealthCheck
+	// RegisterReadyCheck adds (or, with a nil check, removes) a named
+	// readiness check served at /readyz by ServeDebug.
+	RegisterReadyCheck = obs.RegisterReadyCheck
+	// Healthz evaluates every registered liveness check without HTTP.
+	Healthz = obs.Healthz
+	// Readyz evaluates every registered readiness check without HTTP.
+	Readyz = obs.Readyz
 )

@@ -18,6 +18,27 @@
 // overlaps the remaining samples still being delivered. Either way
 // connections are capped at -max-conns and bounded by -conn-timeout.
 //
+// -journal-dir enables the write-ahead frame journal: every admitted frame
+// is persisted before it may decode, and on restart with the same
+// directory, frames the previous process accepted but never finished are
+// replayed ahead of new ingest (their outcome lines carry a "replayed"
+// mark). Frames whose outcome was settled right before the crash — after
+// the completion hit the journal but possibly before its line reached
+// stdout — are announced as "frame N: completed before restart" instead of
+// being decoded again, so every admitted frame gets a terminal record
+// exactly once across process lives. Invoking the daemon with only
+// -journal-dir replays any pending backlog and exits. -fsync extends the
+// durability guarantee from process death to power loss at the cost of one
+// fsync per admitted frame.
+//
+// -admission-target layers an AIMD admission controller over the shed
+// policy: the gateway watches the p99 frame latency and multiplicatively
+// shrinks (or additively regrows) how many frames may be in flight, so
+// sustained overload sheds early at the controller instead of deep in the
+// queue. /healthz and /readyz on -debug-addr report liveness and
+// readiness (ready = accepting, queue below capacity, no breaker
+// hard-tripped).
+//
 // Usage:
 //
 //	choir-gatewayd night/*.iq
@@ -28,6 +49,9 @@
 //	choir-gatewayd -ladder superposed,strongest night/*.iq
 //	choir-gatewayd -backend slotshift night/*.iq
 //	choir-gatewayd -metrics -debug-addr localhost:6060 -listen :7373
+//	choir-gatewayd -journal-dir /var/lib/choir/journal -listen :7373
+//	choir-gatewayd -journal-dir /var/lib/choir/journal        # replay and exit
+//	choir-gatewayd -admission-target 250ms -listen-stream :7374
 //
 // SIGINT/SIGTERM stop ingest and drain the queue gracefully (bounded by
 // -drain-timeout, then a hard stop that sheds the remainder); the metrics
@@ -36,6 +60,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -91,12 +116,17 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown before queued frames are shed")
 	metrics := fs.Bool("metrics", false, "record gateway metrics and dump a JSON snapshot at exit")
 	metricsOut := fs.String("metrics-out", "", "metrics snapshot destination (default or \"-\": stderr)")
-	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); implies metrics recording")
+	debugAddr := fs.String("debug-addr", "", "serve expvar, pprof, and health probes on this address (e.g. localhost:6060); implies metrics recording")
+	journalDir := fs.String("journal-dir", "", "write-ahead journal directory: admitted frames survive process death and replay on restart")
+	fsync := fs.Bool("fsync", false, "fsync each journal append (durability across power loss, not just process death)")
+	admissionTarget := fs.Duration("admission-target", 0, "AIMD admission control: p99 frame-latency target (0 = off)")
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
-	if *listen == "" && *listenStream == "" && fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: choir-gatewayd [-listen addr | -listen-stream addr] [-queue n -shed-policy p] [trace.iq | dir ...]")
+	// A journal-dir-only invocation is valid: it replays whatever backlog
+	// the previous life left behind, drains it, and exits.
+	if *listen == "" && *listenStream == "" && fs.NArg() == 0 && *journalDir == "" {
+		fmt.Fprintln(stderr, "usage: choir-gatewayd [-listen addr | -listen-stream addr] [-journal-dir dir] [-queue n -shed-policy p] [trace.iq | dir ...]")
 		return exitUsage
 	}
 	if *listen != "" && *listenStream != "" {
@@ -153,10 +183,41 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		Batch:            *batch,
 		MaxConns:         *maxConns,
 		ConnTimeout:      *connTimeout,
+		JournalDir:       *journalDir,
+		Fsync:            *fsync,
+		AdmissionTarget:  *admissionTarget,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "choir-gatewayd:", err)
 		return exitFailed
+	}
+
+	// Liveness and readiness probes on the -debug-addr mux track this
+	// gateway for as long as the daemon runs.
+	obs.RegisterHealthCheck("gateway", func() error {
+		if !g.Healthy() {
+			return errors.New("gateway stopped")
+		}
+		return nil
+	})
+	obs.RegisterReadyCheck("gateway", func() error {
+		if !g.Ready() {
+			return errors.New("draining, queue at capacity, or breaker tripped")
+		}
+		return nil
+	})
+	defer obs.RegisterHealthCheck("gateway", nil)
+	defer obs.RegisterReadyCheck("gateway", nil)
+
+	// Restart bookkeeping prints before the outcome printer starts: frames
+	// whose completion was journaled but whose outcome line may have been
+	// lost in the crash get their terminal notice first, so a reader sees
+	// exactly one record per admitted frame across process lives.
+	for _, id := range g.CompletedBeforeRestart() {
+		fmt.Fprintf(stdout, "frame %d: completed before restart\n", id)
+	}
+	if n := g.ReplayedOutcomes(); n > 0 {
+		fmt.Fprintf(stderr, "choir-gatewayd: replaying %d journaled frame(s) from %s\n", n, *journalDir)
 	}
 
 	// The printer is the sole outcome consumer; it exits when Drain closes
@@ -207,6 +268,9 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	st := g.Stats()
 	fmt.Fprintf(stderr, "choir-gatewayd: accepted %d, decoded %d (%d recovered by ladder), failed %d, shed %d\n",
 		st.Accepted, st.Decoded, st.Recovered, st.Failed, st.Shed)
+	if st.Replayed > 0 {
+		fmt.Fprintf(stderr, "choir-gatewayd: %d of those were replayed from the journal\n", st.Replayed)
+	}
 	if interrupted {
 		fmt.Fprintln(stderr, "choir-gatewayd: interrupted")
 		return exitInterrupted
@@ -229,19 +293,26 @@ func drain(g *gateway.Gateway, budget time.Duration, stderr io.Writer) {
 }
 
 // printOutcome writes one frame's terminal outcome as a single line.
+// Journal-replayed frames carry a "replayed" mark after their source so a
+// log reader can tell a decode recovered from a previous process life from
+// fresh ingest.
 func printOutcome(w io.Writer, o gateway.Outcome) {
+	src := o.Source
+	if o.Replayed {
+		src += ", replayed"
+	}
 	switch o.Kind {
 	case gateway.OutcomeDecoded:
 		fmt.Fprintf(w, "frame %d (%s): decoded %d payload(s) of %d user(s) by backend %s (rung %d), attempt %d:",
-			o.FrameID, o.Source, len(o.Payloads), o.Users, o.Backend, int(o.Stage), o.Attempts)
+			o.FrameID, src, len(o.Payloads), o.Users, o.Backend, int(o.Stage), o.Attempts)
 		for _, p := range o.Payloads {
 			fmt.Fprintf(w, " %x", p)
 		}
 		fmt.Fprintln(w)
 	case gateway.OutcomeShed:
-		fmt.Fprintf(w, "frame %d (%s): shed: %v\n", o.FrameID, o.Source, o.Err)
+		fmt.Fprintf(w, "frame %d (%s): shed: %v\n", o.FrameID, src, o.Err)
 	default:
 		fmt.Fprintf(w, "frame %d (%s): failed after %d attempt(s): %v\n",
-			o.FrameID, o.Source, o.Attempts, o.Err)
+			o.FrameID, src, o.Attempts, o.Err)
 	}
 }

@@ -45,4 +45,10 @@ var (
 	// ErrNoTraces reports an ingest directory that exists but holds no
 	// *.iq files — distinct from the directory itself being missing.
 	ErrNoTraces = errors.New("gateway: no traces found")
+
+	// ErrJournal reports a write-ahead journal failure during admission or
+	// recovery: the frame (or the gateway, at New) could not be made
+	// durable. A Submit failing with ErrJournal was never accepted and will
+	// produce no outcome.
+	ErrJournal = errors.New("gateway: journal failure")
 )

@@ -16,6 +16,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -25,6 +26,7 @@ import (
 
 	"choir/internal/backend"
 	"choir/internal/ctxutil"
+	"choir/internal/gateway/journal"
 	"choir/internal/lora"
 	"choir/internal/trace"
 )
@@ -84,6 +86,32 @@ type Config struct {
 	// chunk in streaming mode) and writing the status reply. 0 means no
 	// deadline, preserving the historical trust-the-peer behavior.
 	ConnTimeout time.Duration
+	// JournalDir, when non-empty, enables the write-ahead frame journal:
+	// every admitted frame is journaled before a worker may decode it, every
+	// terminal outcome appends a completion record, and New replays any
+	// admitted-but-incomplete frames a dead process left behind (ahead of new
+	// ingest, under their original IDs, so decode seeds are unchanged).
+	// Empty — the default — is bit-identical to the pre-journal gateway.
+	JournalDir string
+	// Fsync syncs the journal after every record (see journal.Options.Fsync):
+	// full power-loss durability at a heavy per-frame latency cost. Without
+	// it the journal still survives process death. Ignored when JournalDir
+	// is empty.
+	Fsync bool
+	// AdmissionTarget, when positive, enables AIMD admission control: the
+	// gateway watches its own end-to-end frame latency (the distribution
+	// behind gateway.frame_latency_ns) and shrinks the effective admission
+	// window multiplicatively whenever a window's p99 exceeds the target,
+	// growing it back additively while latency holds under. Frames beyond
+	// the window are shed by the configured Policy exactly as a full queue
+	// would be. Zero — the default — disables the controller.
+	AdmissionTarget time.Duration
+	// AdmissionEvery is how many terminal outcomes form one latency window
+	// between AIMD adjustments (default 32).
+	AdmissionEvery int
+	// AdmissionMin is the floor the admission window can shrink to
+	// (default 1 — overload never chokes admissions off entirely).
+	AdmissionMin int
 }
 
 // withDefaults fills zero fields.
@@ -115,6 +143,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxConns <= 0 {
 		c.MaxConns = 64
 	}
+	if c.AdmissionEvery <= 0 {
+		c.AdmissionEvery = 32
+	}
+	if c.AdmissionMin <= 0 {
+		c.AdmissionMin = 1
+	}
 	return c
 }
 
@@ -131,13 +165,31 @@ type Frame struct {
 	// full backing array the peer is still filling; stream certifies how much
 	// of it is complete.
 	Samples []complex128
+	// Replayed marks a frame recovered from the journal of a previous
+	// process life rather than freshly submitted. Its ID, seeds and ladder
+	// walk are exactly the dead process's; only this flag (and the Outcome's)
+	// distinguishes it.
+	Replayed bool
 
 	enqueued time.Time
 	// stream is non-nil for frames submitted while their samples are still
 	// arriving (ServeTCPStream); decode attempts wait on it via the
 	// choir.AvailFunc contract.
 	stream *streamBuffer
+	// journalState tracks the frame's write-ahead journal lifecycle:
+	// journalNone (no admit record yet), journalAdmitted (admit journaled —
+	// the terminal outcome must journal a completion), or journalSettled
+	// (terminal before any admit was journaled — a streaming frame that
+	// finished or aborted mid-delivery; no admit may be written after this).
+	journalState atomic.Uint32
 }
+
+// Frame journal lifecycle states (Frame.journalState).
+const (
+	journalNone uint32 = iota
+	journalAdmitted
+	journalSettled
+)
 
 // OutcomeKind classifies a frame's terminal outcome.
 type OutcomeKind int
@@ -187,6 +239,9 @@ type Outcome struct {
 	// Err is the typed failure (OutcomeFailed) or shed reason (OutcomeShed);
 	// classify with errors.Is against the gateway and decoder taxonomies.
 	Err error
+	// Replayed marks the outcome of a journal-recovered frame from a
+	// previous process life (see Frame.Replayed).
+	Replayed bool
 }
 
 // Stats is a snapshot of the gateway's own terminal-outcome accounting.
@@ -197,6 +252,9 @@ type Stats struct {
 	Accepted, Decoded, Failed, Shed int64
 	// Recovered counts decodes that needed a rung below full SIC.
 	Recovered int64
+	// Replayed counts frames re-enqueued from the journal at startup (each
+	// is also counted in Accepted: it is accepted again by this process).
+	Replayed int64
 }
 
 // Gateway is the resilient decode service. Create with New, feed with
@@ -224,7 +282,17 @@ type Gateway struct {
 
 	rungs []*rung
 
-	accepted, decoded, failed, shed, recovered atomic.Int64
+	// journal is the write-ahead frame log (nil when Config.JournalDir is
+	// empty); priorCompleted lists frames a previous life admitted AND
+	// completed — their outcome is durable but may never have been reported.
+	journal        *journal.Writer
+	priorCompleted []uint64
+
+	// admission is the AIMD overload controller (nil when
+	// Config.AdmissionTarget is zero).
+	admission *admissionController
+
+	accepted, decoded, failed, shed, recovered, replayed atomic.Int64
 
 	drainOnce sync.Once
 	drainErr  error
@@ -266,20 +334,62 @@ func build(cfg Config) (*Gateway, error) {
 		}
 		seen[name] = true
 	}
+	// Recover the journal, if configured, before anything is sized: the
+	// replay backlog may exceed the configured queue, and every replayed
+	// frame must be queued ahead of new ingest.
+	var (
+		jw  *journal.Writer
+		rec journal.Recovery
+	)
+	if cfg.JournalDir != "" {
+		var err error
+		jw, rec, err = journal.Open(cfg.JournalDir, journal.Options{Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	queueCap := cfg.Queue
+	if n := len(rec.Incomplete); n > queueCap {
+		queueCap = n
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	g := &Gateway{
-		cfg:       cfg,
-		queue:     make(chan *Frame, cfg.Queue),
-		space:     make(chan struct{}, 1),
-		outcomes:  make(chan Outcome, cfg.Queue+cfg.Workers+16),
-		ctx:       ctx,
-		cancel:    cancel,
-		accepting: true,
-		idle:      make(chan struct{}, 1),
-		pools:     map[poolKey]*backend.Pool{},
+		cfg:            cfg,
+		queue:          make(chan *Frame, queueCap),
+		space:          make(chan struct{}, 1),
+		outcomes:       make(chan Outcome, queueCap+cfg.Workers+16),
+		ctx:            ctx,
+		cancel:         cancel,
+		accepting:      true,
+		idle:           make(chan struct{}, 1),
+		pools:          map[poolKey]*backend.Pool{},
+		journal:        jw,
+		priorCompleted: rec.Completed,
+	}
+	if cfg.AdmissionTarget > 0 {
+		g.admission = newAdmissionController(cfg.AdmissionTarget, cfg.AdmissionEvery, cfg.AdmissionMin, queueCap)
 	}
 	for _, name := range cfg.Ladder {
 		g.rungs = append(g.rungs, newRung(name, cfg.BreakerThreshold, cfg.BreakerCooldown))
+	}
+	// Restart ID allocation above everything the journal ever saw, then
+	// re-enqueue the replayed frames: they are accepted (again) by this
+	// process, ahead of any new ingest, under their original IDs — decode
+	// seeds are functions of (Seed, ID, rung), so replays walk the exact
+	// ladder the dead process would have.
+	g.nextID.Store(rec.MaxID)
+	for _, e := range rec.Incomplete {
+		f := &Frame{
+			ID: e.ID, Source: "journal", Header: e.Header, Samples: e.Samples,
+			Replayed: true, enqueued: time.Now(),
+		}
+		f.journalState.Store(journalAdmitted) // Open re-journaled the admit
+		g.queue <- f
+		g.pending.Add(1)
+		g.accepted.Add(1)
+		g.replayed.Add(1)
+		mAccepted.Inc()
+		mReplayed.Inc()
 	}
 	return g, nil
 }
@@ -305,7 +415,25 @@ func (g *Gateway) Stats() Stats {
 		Failed:    g.failed.Load(),
 		Shed:      g.shed.Load(),
 		Recovered: g.recovered.Load(),
+		Replayed:  g.replayed.Load(),
 	}
+}
+
+// ReplayedOutcomes reports how many journal-replayed frames this gateway
+// re-enqueued at startup (Stats().Replayed as an int for convenience).
+func (g *Gateway) ReplayedOutcomes() int { return int(g.replayed.Load()) }
+
+// CompletedBeforeRestart returns the IDs of frames a previous process life
+// admitted AND completed: their single terminal outcome is durably recorded
+// in the journal, but the dying process may have been killed between
+// journaling the completion and reporting the outcome. Callers that log
+// outcomes should report these once at startup so crash-spanning accounting
+// closes (the daemon prints them as "completed before restart" notices).
+// Empty without a journal or after a clean shutdown.
+func (g *Gateway) CompletedBeforeRestart() []uint64 {
+	out := make([]uint64, len(g.priorCompleted))
+	copy(out, g.priorCompleted)
+	return out
 }
 
 // Submit offers one capture to the gateway. On acceptance it returns the
@@ -321,10 +449,28 @@ func (g *Gateway) Submit(ctx context.Context, source string, h trace.Header, sam
 // attaches a streamBuffer to the frame before submission).
 func (g *Gateway) submitFrame(ctx context.Context, f *Frame) (uint64, error) {
 	ctx = ctxutil.Background(ctx)
+	if g.journal != nil && f.ID == 0 {
+		// Journaled admission: assign the ID up front and make the frame
+		// durable before any worker can see it. A frame that then fails
+		// admission gets its journal pair settled by journalAbandon, so a
+		// rejected frame is never replayed after a restart. Streaming frames
+		// are journaled when their delivery completes instead (their backing
+		// array is still filling here); until then durability is pending —
+		// the documented streaming gap.
+		f.ID = g.nextID.Add(1)
+		if f.stream == nil {
+			if err := g.journal.Append(f.ID, f.Header, f.Samples); err != nil {
+				mJournalErrors.Inc()
+				return 0, fmt.Errorf("%w: admitting frame %d: %v", ErrJournal, f.ID, err)
+			}
+			f.journalState.Store(journalAdmitted)
+		}
+	}
 	for {
 		g.mu.Lock()
 		if !g.accepting {
 			g.mu.Unlock()
+			g.journalAbandon(f)
 			return 0, ErrStopped
 		}
 		// Assign the ID at acceptance time so IDs are dense in acceptance
@@ -333,20 +479,29 @@ func (g *Gateway) submitFrame(ctx context.Context, f *Frame) (uint64, error) {
 			f.ID = g.nextID.Add(1)
 		}
 		f.enqueued = time.Now()
-		select {
-		case g.queue <- f:
-			g.pending.Add(1)
-			g.accepted.Add(1)
-			mAccepted.Inc()
-			g.mu.Unlock()
-			return f.ID, nil
-		default:
+		// The AIMD admission window gates ahead of the queue: a frame beyond
+		// the current window sheds exactly as a full queue would. The check
+		// is advisory under racing submitters (the window can overshoot by
+		// the race width); the controller's feedback loop absorbs that.
+		if g.admission == nil || g.pending.Load() < g.admission.Limit() {
+			select {
+			case g.queue <- f:
+				g.pending.Add(1)
+				g.accepted.Add(1)
+				mAccepted.Inc()
+				g.mu.Unlock()
+				return f.ID, nil
+			default:
+			}
+		} else {
+			mAdmissionDeferred.Inc()
 		}
-		// Queue full: shed.
+		// Queue (or admission window) full: shed.
 		switch g.cfg.Policy {
 		case ShedReject:
 			g.mu.Unlock()
 			mShedRejected.Inc()
+			g.journalAbandon(f)
 			return 0, fmt.Errorf("%w: %d frames queued", ErrQueueFull, cap(g.queue))
 		case ShedDropOldest:
 			// Evict under the lock so two submitters can't each evict for
@@ -354,7 +509,7 @@ func (g *Gateway) submitFrame(ctx context.Context, f *Frame) (uint64, error) {
 			select {
 			case old := <-g.queue:
 				mShedDropped.Inc()
-				g.emit(Outcome{
+				g.emit(old, Outcome{
 					FrameID: old.ID, Source: old.Source, Kind: OutcomeShed,
 					Err: fmt.Errorf("%w: evicted by newer frame %d (drop-oldest)", ErrShed, f.ID),
 				})
@@ -371,10 +526,23 @@ func (g *Gateway) submitFrame(ctx context.Context, f *Frame) (uint64, error) {
 				continue
 			case <-ctx.Done():
 				mShedRejected.Inc()
+				g.journalAbandon(f)
 				return 0, fmt.Errorf("%w: canceled while blocked: %w", ErrQueueFull, ctx.Err())
 			case <-g.ctx.Done():
+				g.journalAbandon(f)
 				return 0, ErrStopped
 			}
+		}
+	}
+}
+
+// journalAbandon settles the journal pair of a frame whose admission failed
+// after its admit record was written: the completion marks it terminal so a
+// restart never replays a frame the caller was told was rejected.
+func (g *Gateway) journalAbandon(f *Frame) {
+	if g.journal != nil && f.journalState.Load() == journalAdmitted {
+		if err := g.journal.Complete(f.ID); err != nil {
+			mJournalErrors.Inc()
 		}
 	}
 }
@@ -419,11 +587,17 @@ func (g *Gateway) worker() {
 }
 
 // finish observes a processed frame's end-to-end latency (enqueue to
-// terminal outcome — the p99 the sustained-throughput benchmark reports)
-// and emits the outcome.
+// terminal outcome — the p99 the sustained-throughput benchmark reports),
+// feeds the admission controller, and emits the outcome.
 func (g *Gateway) finish(f *Frame, o Outcome) {
-	tFrameLatency.Hist().Observe(time.Since(f.enqueued).Nanoseconds())
-	g.emit(o)
+	lat := time.Since(f.enqueued).Nanoseconds()
+	tFrameLatency.Hist().Observe(lat)
+	if g.admission != nil {
+		// The controller keeps its own latency window rather than reading
+		// the histogram back: metrics only observe (DESIGN.md §10).
+		g.admission.observe(lat)
+	}
+	g.emit(f, o)
 }
 
 // signalSpace wakes at most one ShedBlock waiter after a dequeue.
@@ -442,7 +616,7 @@ func (g *Gateway) flushQueue() {
 		select {
 		case f := <-g.queue:
 			mShedDrained.Inc()
-			g.emit(Outcome{
+			g.emit(f, Outcome{
 				FrameID: f.ID, Source: f.Source, Kind: OutcomeShed,
 				Err: fmt.Errorf("%w: gateway stopped before decode", ErrShed),
 			})
@@ -452,8 +626,25 @@ func (g *Gateway) flushQueue() {
 	}
 }
 
-// emit records and publishes one terminal outcome.
-func (g *Gateway) emit(o Outcome) {
+// emit records and publishes one terminal outcome for frame f. The journal
+// completion is appended BEFORE the outcome is published: a crash after the
+// channel send finds the pair settled, and a crash between the two leaves
+// the frame in the journal's completed set, which the next life surfaces as
+// a "completed before restart" notice — either way exactly one terminal
+// outcome exists across lives.
+func (g *Gateway) emit(f *Frame, o Outcome) {
+	o.Replayed = f.Replayed
+	if g.journal != nil {
+		if f.stream != nil && f.journalState.CompareAndSwap(journalNone, journalSettled) {
+			// Terminal before the streamed delivery was journaled: there is
+			// no admit record to pair, and the settled state stops the
+			// delivery path from writing one afterward.
+		} else if f.journalState.Load() == journalAdmitted {
+			if err := g.journal.Complete(o.FrameID); err != nil && !errors.Is(err, journal.ErrClosed) {
+				mJournalErrors.Inc()
+			}
+		}
+	}
 	switch o.Kind {
 	case OutcomeDecoded:
 		g.decoded.Add(1)
@@ -468,6 +659,11 @@ func (g *Gateway) emit(o Outcome) {
 		g.shed.Add(1)
 	}
 	g.outcomes <- o
+	if g.admission != nil {
+		// Under admission control, capacity frees at the terminal outcome
+		// (pending), not at dequeue — wake a ShedBlock waiter here too.
+		g.signalSpace()
+	}
 	if g.pending.Add(-1) == 0 {
 		select {
 		case g.idle <- struct{}{}:
@@ -515,6 +711,14 @@ func (g *Gateway) Drain(ctx context.Context) error {
 		// Workers are gone; anything still queued (frames that raced in
 		// between the last flush check and worker exit) is flushed here.
 		g.flushQueue()
+		// All completions are journaled; close the log. Frames the hard-stop
+		// path shed have completion records too (flushQueue emits through
+		// the journal), so a clean drain leaves an empty journal to recover.
+		if g.journal != nil {
+			if err := g.journal.CloseReclaim(); err != nil && g.drainErr == nil {
+				g.drainErr = fmt.Errorf("gateway: closing journal: %w", err)
+			}
+		}
 		close(g.outcomes)
 	})
 	return g.drainErr
@@ -550,3 +754,42 @@ func (g *Gateway) Ladder() []string {
 // breakerTripped reports whether the given rung's circuit breaker is
 // currently open — for tests and the daemon's status logging.
 func (g *Gateway) breakerTripped(stage Stage) bool { return g.rungs[stage].breaker.isTripped() }
+
+// Healthy reports liveness: the worker pool is running and the gateway has
+// not begun draining. Wire it to a /healthz check (obs.RegisterHealthCheck).
+func (g *Gateway) Healthy() bool { return g.ctx.Err() == nil }
+
+// Ready reports whether the gateway should receive traffic: it is accepting
+// (recovery, if any, completed inside New before this gateway existed), the
+// queue is below the shed threshold, and no ladder rung's circuit breaker is
+// hard-tripped. Wire it to a /readyz check (obs.RegisterReadyCheck).
+func (g *Gateway) Ready() bool {
+	g.mu.Lock()
+	accepting := g.accepting
+	g.mu.Unlock()
+	if !accepting {
+		return false
+	}
+	if len(g.queue) >= cap(g.queue) {
+		return false
+	}
+	for _, r := range g.rungs {
+		if r.breaker.isTripped() {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover inspects a journal directory without modifying it, reporting what
+// a gateway configured with JournalDir=dir would replay at startup: the
+// admitted-but-incomplete frames (in admission order) and the IDs whose
+// terminal outcome is already durable. The actual replay happens inside New;
+// this is the read-only preview for tooling and tests.
+func Recover(dir string) (journal.Recovery, error) {
+	incomplete, completed, maxID, err := journal.Scan(dir)
+	if err != nil {
+		return journal.Recovery{}, err
+	}
+	return journal.Recovery{Incomplete: incomplete, Completed: completed, MaxID: maxID}, nil
+}

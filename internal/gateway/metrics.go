@@ -25,6 +25,20 @@ var (
 	mPanics  = obs.NewCounter("gateway.decode_panics")
 	mRetries = obs.NewCounter("gateway.retries")
 
+	// Durability: frames re-enqueued from the write-ahead journal at
+	// startup, and journal write failures (admission denials or completion
+	// records that could not be appended).
+	mReplayed      = obs.NewCounter("gateway.journal.replayed")
+	mJournalErrors = obs.NewCounter("gateway.journal.errors")
+
+	// AIMD admission control: window shrinks (p99 over target), grows
+	// (under target), submissions deferred at the window, and the current
+	// window as a gauge-by-delta (its value is the live admission limit).
+	mAdmissionShrinks  = obs.NewCounter("gateway.admission.shrinks")
+	mAdmissionGrows    = obs.NewCounter("gateway.admission.grows")
+	mAdmissionDeferred = obs.NewCounter("gateway.admission.deferred")
+	mAdmissionLimit    = obs.NewCounter("gateway.admission.limit")
+
 	// Per-rung ladder visibility — attempts, successes, breaker trips and
 	// breaker-skipped attempts — lives on each rung, keyed by BACKEND NAME
 	// (gateway.stage.<backend>.attempts, gateway.breaker.<backend>.trips,

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -17,12 +16,10 @@ import (
 	"choir/internal/trace"
 )
 
-// Streaming-protocol sanity bounds: a peer declaring a larger header or
-// frame than these is rejected before any allocation happens.
-const (
-	maxStreamHeader  = 1 << 20 // 1 MiB of JSON header
-	maxStreamSamples = 1 << 26 // 64M samples (1 GiB of IQ)
-)
+// The streaming protocol's sanity bounds live in internal/trace
+// (MaxFramedHeader / MaxFramedSamples): a peer declaring a larger header or
+// frame than those is rejected by trace.ReadFramedPreface before any
+// allocation happens.
 
 // streamBuffer coordinates one streaming frame between the connection
 // handler filling the backing array front to back and the decode worker
@@ -155,45 +152,30 @@ func (g *Gateway) handleStreamConn(ctx context.Context, conn net.Conn) {
 	// Acknowledge admission before the samples finish: the decode is
 	// already eligible to start on the preamble prefix.
 	g.reply(conn, "accepted %d\n", id)
-	sb.complete(g.streamSamples(conn, br, sb))
+	err = g.streamSamples(conn, br, sb)
+	if err == nil && g.journal != nil && f.journalState.CompareAndSwap(journalNone, journalAdmitted) {
+		// Journal the admit now that the frame is fully delivered (a
+		// streamed frame becomes durable at delivery, not at admission —
+		// the documented streaming gap). The CAS loses only to emit having
+		// already settled the frame terminally, in which case no admit may
+		// be written. The symmetric race — decode completing between our
+		// CAS and this Append — journals the completion first; the journal's
+		// out-of-order pairing absorbs it.
+		if jerr := g.journal.Append(f.ID, f.Header, f.Samples); jerr != nil {
+			mJournalErrors.Inc()
+		}
+	}
+	sb.complete(err)
 }
 
-// readStreamPreface parses the framed protocol's header section with the
-// malformed-length guards applied before anything is allocated.
+// readStreamPreface parses the framed protocol's header section through
+// trace.ReadFramedPreface, which applies the malformed-length guards before
+// anything is allocated.
 func (g *Gateway) readStreamPreface(conn net.Conn, br *bufio.Reader) (trace.Header, int, error) {
 	if g.cfg.ConnTimeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(g.cfg.ConnTimeout))
 	}
-	var n4 [4]byte
-	if _, err := io.ReadFull(br, n4[:]); err != nil {
-		return trace.Header{}, 0, fmt.Errorf("gateway: reading header length: %w", err)
-	}
-	hlen := binary.LittleEndian.Uint32(n4[:])
-	if hlen == 0 || hlen > maxStreamHeader {
-		return trace.Header{}, 0, fmt.Errorf("gateway: header length %d out of range (max %d)", hlen, maxStreamHeader)
-	}
-	meta := make([]byte, hlen)
-	if _, err := io.ReadFull(br, meta); err != nil {
-		return trace.Header{}, 0, fmt.Errorf("gateway: reading header: %w", err)
-	}
-	var h trace.Header
-	if err := json.Unmarshal(meta, &h); err != nil {
-		return trace.Header{}, 0, fmt.Errorf("gateway: decoding header: %w", err)
-	}
-	if h.Magic != trace.Magic {
-		return trace.Header{}, 0, fmt.Errorf("gateway: bad magic %q", h.Magic)
-	}
-	if err := h.Params.Validate(); err != nil {
-		return trace.Header{}, 0, err
-	}
-	if _, err := io.ReadFull(br, n4[:]); err != nil {
-		return trace.Header{}, 0, fmt.Errorf("gateway: reading sample count: %w", err)
-	}
-	count := binary.LittleEndian.Uint32(n4[:])
-	if count == 0 || count > maxStreamSamples {
-		return trace.Header{}, 0, fmt.Errorf("gateway: sample count %d out of range (max %d)", count, maxStreamSamples)
-	}
-	return h, int(count), nil
+	return trace.ReadFramedPreface(br)
 }
 
 // streamSamples copies the connection's sample bytes into the stream

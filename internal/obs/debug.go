@@ -31,8 +31,10 @@ func publishExpvar() {
 
 // ServeDebug starts an HTTP server on addr exposing the standard Go
 // debugging surface: /debug/vars (expvar, including the "choir_metrics"
-// snapshot) and /debug/pprof/ (CPU, heap, goroutine, block profiles, and
-// execution traces). It returns the bound address (useful with ":0") after
+// snapshot), /debug/pprof/ (CPU, heap, goroutine, block profiles, and
+// execution traces), and the /healthz and /readyz probe endpoints backed by
+// RegisterHealthCheck / RegisterReadyCheck. It returns the bound address
+// (useful with ":0") after
 // the listener is live, plus a shutdown function that stops the server:
 // shutdown attempts a graceful drain bounded by its context and falls back
 // to closing the server outright when the context fires first. Shutdown is
@@ -58,6 +60,8 @@ func ServeDebug(addr string) (string, func(context.Context) error, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteJSON(w)
 	})
+	mux.Handle("/healthz", &healthChecks)
+	mux.Handle("/readyz", &readyChecks)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	served := make(chan struct{})
 	go func() {

@@ -535,16 +535,20 @@ func Run(ctx context.Context, cfg Config) (*Metrics, error) {
 	var (
 		m   *Metrics
 		err error
+		lp  liveProgress
 	)
 	switch cfg.Driver {
 	case DriverSlot:
-		m, err = runSlot(ctx, c)
+		m, err = runSlot(ctx, c, &lp)
 	default:
-		m, err = runEvent(ctx, c)
+		m, err = runEvent(ctx, c, &lp)
 	}
 	if err != nil {
+		// Retract whatever the live stream published: a canceled run's net
+		// accounting is zero, so a retry cannot double-count.
+		lp.rollback()
 		return nil, err
 	}
-	m.record()
+	lp.finish(m)
 	return m, nil
 }

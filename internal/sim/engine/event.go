@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"choir/internal/exec"
+	"choir/internal/obs"
 )
 
 // shardState is one spatial partition's private working set: its event
@@ -41,7 +42,7 @@ func (sh *shardState) reschedule(c *core, i int32) {
 // slot), never on a shard or worker index, so the shard partition and
 // pool width cannot reorder draws — runSlot and runEvent return
 // bit-identical Metrics for any Shards/Workers.
-func runEvent(ctx context.Context, c *core) (*Metrics, error) {
+func runEvent(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) {
 	nShards := c.cfg.Shards
 	nodes := c.cfg.Nodes
 	pool := exec.NewPool(c.cfg.Workers)
@@ -77,6 +78,16 @@ func runEvent(ctx context.Context, c *core) (*Metrics, error) {
 		// no need to amortize the context poll.
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("engine: run canceled mid-drain after %d active slots: %w", activeSlots, ctx.Err())
+		}
+		// The top of the loop is a serial point — every phase of the
+		// previous slot has joined — so partial shard totals are safe to
+		// fold and stream for live progress.
+		if activeSlots > 0 && activeSlots%liveFlushInterval == 0 && obs.Enabled() {
+			cur := Metrics{ActiveSlots: activeSlots}
+			for si := range shards {
+				cur.add(&shards[si].m)
+			}
+			lp.flush(&cur)
 		}
 		// Next slot with any scheduled wake, across all shards.
 		s := int64(-1)

@@ -104,10 +104,14 @@ func (m *Metrics) AirtimeSeconds() float64 {
 	return total
 }
 
-// City-engine observability: cumulative totals across every completed Run
-// in the process. Recorded exactly once, when a run completes — a
-// canceled run records nothing, so retries can never double-count
-// (TestRunCancelMidDrain pins this).
+// City-engine observability: cumulative totals across every Run in the
+// process. A running simulation streams its partial totals into these
+// incrementally (so a -debug-addr scrape shows live progress mid-run), but
+// the terminal accounting contract is unchanged: a completed run's net
+// counter delta equals its Metrics exactly, a canceled run nets to zero —
+// everything streamed is rolled back — and city.runs moves only at
+// completion, so retries can never double-count (TestRunCancelMidDrain
+// pins this).
 var (
 	cRuns          = obs.NewCounter("city.runs")
 	cEvents        = obs.NewCounter("city.events")
@@ -120,15 +124,57 @@ var (
 	cUnreachable   = obs.NewCounter("city.unreachable")
 )
 
-// record streams the run's totals into the process-wide obs registry.
-func (m *Metrics) record() {
+// liveFlushInterval is how many work units (slots for the reference
+// driver, active slots for the event driver) pass between streaming
+// flushes. Flushes happen at the drivers' serial points, where no worker
+// holds a shard, so reading partial totals is race-free.
+const liveFlushInterval = 256
+
+// liveProgress streams one run's partial totals into the city.* counters.
+// It remembers what it has streamed so far: flush adds only the delta
+// since the last call, rollback subtracts everything streamed. Because a
+// flush is skipped entirely while recording is disabled, streamed only
+// ever holds amounts the counters actually absorbed, and a rollback can
+// never underflow them.
+type liveProgress struct {
+	streamed Metrics
+}
+
+// flush streams the delta between the run's current totals and what has
+// already been streamed. cur must be a race-free snapshot (the drivers
+// call this only between phases).
+func (lp *liveProgress) flush(cur *Metrics) {
+	if !obs.Enabled() {
+		return
+	}
+	cEvents.Add(cur.Events - lp.streamed.Events)
+	cActiveSlots.Add(cur.ActiveSlots - lp.streamed.ActiveSlots)
+	cArrivals.Add(cur.Arrivals - lp.streamed.Arrivals)
+	cDelivered.Add(cur.Delivered - lp.streamed.Delivered)
+	cDropped.Add(cur.Dropped - lp.streamed.Dropped)
+	cTransmissions.Add(cur.Transmissions - lp.streamed.Transmissions)
+	cCollidedTx.Add(cur.CollidedTx - lp.streamed.CollidedTx)
+	cUnreachable.Add(cur.Unreachable - lp.streamed.Unreachable)
+	lp.streamed = *cur
+}
+
+// rollback retracts everything this run streamed, returning the counters
+// to their pre-run values. Called when a run is canceled mid-drain.
+func (lp *liveProgress) rollback() {
+	cEvents.Add(-lp.streamed.Events)
+	cActiveSlots.Add(-lp.streamed.ActiveSlots)
+	cArrivals.Add(-lp.streamed.Arrivals)
+	cDelivered.Add(-lp.streamed.Delivered)
+	cDropped.Add(-lp.streamed.Dropped)
+	cTransmissions.Add(-lp.streamed.Transmissions)
+	cCollidedTx.Add(-lp.streamed.CollidedTx)
+	cUnreachable.Add(-lp.streamed.Unreachable)
+	lp.streamed = Metrics{}
+}
+
+// finish streams the completed run's remaining totals and counts the run
+// itself — the only place city.runs moves.
+func (lp *liveProgress) finish(m *Metrics) {
 	cRuns.Inc()
-	cEvents.Add(m.Events)
-	cActiveSlots.Add(m.ActiveSlots)
-	cArrivals.Add(m.Arrivals)
-	cDelivered.Add(m.Delivered)
-	cDropped.Add(m.Dropped)
-	cTransmissions.Add(m.Transmissions)
-	cCollidedTx.Add(m.CollidedTx)
-	cUnreachable.Add(m.Unreachable)
+	lp.flush(m)
 }

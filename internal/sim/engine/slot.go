@@ -11,7 +11,7 @@ import (
 // no event queue, no shards, no phases — so the equivalence property tests
 // can hold the event driver to it bit for bit. O(Nodes × Slots): use it
 // for small cities and for validation, not for the million-node sweeps.
-func runSlot(ctx context.Context, c *core) (*Metrics, error) {
+func runSlot(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) {
 	m := c.newMetrics()
 	for i := range c.nodes {
 		c.initArrivals(int32(i))
@@ -27,6 +27,9 @@ func runSlot(ctx context.Context, c *core) (*Metrics, error) {
 	for s := int64(0); s < c.slots; s++ {
 		if s%ctxCheckInterval == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("engine: run canceled at slot %d/%d: %w", s, c.slots, ctx.Err())
+		}
+		if s > 0 && s%liveFlushInterval == 0 {
+			lp.flush(m)
 		}
 		txNodes = txNodes[:0]
 		clear(counts)

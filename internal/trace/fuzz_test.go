@@ -25,6 +25,40 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadFramed asserts the framed-format parser never panics and never
+// pre-allocates from a hostile length prefix: every input either parses or
+// fails with a typed error, within bounded memory.
+func FuzzReadFramed(f *testing.F) {
+	var buf bytes.Buffer
+	h := Header{PayloadLen: 4}
+	h.Params.SF = 8
+	h.Params.Bandwidth = 125e3
+	h.Params.CR = 4
+	h.Params.PreambleLen = 8
+	_ = WriteFramed(&buf, h, []complex128{1, 2i, -3})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn mid-sample
+	f.Add(valid[:6])            // torn mid-header
+	// Hostile prefixes: huge header length, huge sample count.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	hostile := append([]byte{}, valid[:4+int(valid[0])]...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(hostile)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, samples, err := ReadFramed(bytes.NewReader(data))
+		if err == nil {
+			if h.Magic != Magic {
+				t.Fatalf("accepted bad magic %q", h.Magic)
+			}
+			if len(samples) == 0 || len(samples) > MaxFramedSamples {
+				t.Fatalf("accepted %d samples outside (0, %d]", len(samples), MaxFramedSamples)
+			}
+		}
+	})
+}
+
 // FuzzWriteReadRoundTrip asserts Write∘Read is the identity for arbitrary
 // sample payloads.
 func FuzzWriteReadRoundTrip(f *testing.F) {

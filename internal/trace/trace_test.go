@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -60,6 +62,72 @@ func TestReadRejectsInvalidParams(t *testing.T) {
 	}
 	if _, _, err := Read(&buf); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+func TestReadFramedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	samples := make([]complex128, framedAllocChunk+37) // force a chunked grow
+	for i := range samples {
+		samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	h := Header{Params: lora.DefaultParams(), PayloadLen: 8}
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSamples, err := ReadFramed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadLen != 8 || got.Params != h.Params {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(gotSamples) != len(samples) {
+		t.Fatalf("%d samples, want %d", len(gotSamples), len(samples))
+	}
+	for i := range samples {
+		if gotSamples[i] != samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestReadFramedRejectsHostileLengths(t *testing.T) {
+	// Huge header length: typed error, no attempt to honor the allocation.
+	if _, _, err := ReadFramed(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); !errors.Is(err, ErrFramedTooLarge) {
+		t.Errorf("huge header length: err = %v, want ErrFramedTooLarge", err)
+	}
+	if _, _, err := ReadFramed(bytes.NewReader([]byte{0, 0, 0, 0})); !errors.Is(err, ErrFramedTooLarge) {
+		t.Errorf("zero header length: err = %v, want ErrFramedTooLarge", err)
+	}
+	// Valid header, hostile sample count.
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, Header{Params: lora.DefaultParams(), PayloadLen: 1}, []complex128{1}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	cut := len(b) - 16 - 4 // strip the sample and its count prefix
+	hostile := append(append([]byte{}, b[:cut]...), 0xff, 0xff, 0xff, 0xff)
+	if _, _, err := ReadFramed(bytes.NewReader(hostile)); !errors.Is(err, ErrFramedTooLarge) {
+		t.Errorf("huge sample count: err = %v, want ErrFramedTooLarge", err)
+	}
+	// A large-but-legal count with no data behind it must fail on the read,
+	// not allocate the declared size up front.
+	legal := append(append([]byte{}, b[:cut]...), 0, 0, 0, 1) // 2^24 samples declared
+	if _, _, err := ReadFramed(bytes.NewReader(legal)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("undelivered count: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFramedTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, Header{Params: lora.DefaultParams(), PayloadLen: 1}, []complex128{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-7]
+	if _, _, err := ReadFramed(bytes.NewReader(data)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("torn tail: err = %v, want io.ErrUnexpectedEOF", err)
 	}
 }
 
