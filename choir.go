@@ -44,6 +44,7 @@ import (
 	"choir/internal/radio"
 	"choir/internal/sim"
 	"choir/internal/sim/engine"
+	"choir/internal/sim/interfere"
 	"choir/internal/trace"
 )
 
@@ -322,6 +323,65 @@ var (
 const (
 	CityDriverEvent = engine.DriverEvent
 	CityDriverSlot  = engine.DriverSlot
+)
+
+// Multi-network interference & ADR (the engine's foreign-network model plus
+// package internal/sim/interfere): co-channel foreign LP-WANs as Poisson
+// offered load, a capture-effect receiver with per-SF imperfect
+// orthogonality, per-node rate-adaptation policies mirroring LoRaSim's
+// experiments 0–5, and the paired goodput-vs-density sweep comparing Choir
+// decoding against ADR alone. See DESIGN.md §17.
+type (
+	// CityADRPolicy selects how nodes pick SF/TX power (snr, sf12,
+	// distance, power); the zero value is the engine's original
+	// fastest-rate-for-measured-SNR behavior.
+	CityADRPolicy = engine.ADRPolicy
+	// CityForeignConfig describes one co-channel foreign network: node
+	// population, per-node offered load, and its ADR policy.
+	CityForeignConfig = engine.ForeignConfig
+	// CityForeignSlotSuccess is the receiver hook consulted with per-SF
+	// foreign transmitter counts on interfered slots.
+	CityForeignSlotSuccess = engine.ForeignSlotSuccess
+	// CaptureModel wraps a SlotSuccess with the capture effect and the
+	// cross-SF rejection matrix; build with NewCaptureModel.
+	CaptureModel = interfere.CaptureModel
+	// InterfereSweepConfig parameterizes the interference comparison
+	// sweep (base city, densities, capture margin).
+	InterfereSweepConfig = interfere.SweepConfig
+	// InterfereVariant is one MAC-plus-ADR column of the comparison.
+	InterfereVariant = interfere.Variant
+	// InterfereSweep is a completed variants × densities matrix.
+	InterfereSweep = interfere.Sweep
+)
+
+// Interference-suite entry points.
+var (
+	// ParseCityADRPolicy maps "snr"/"sf12"/"distance"/"power" to a policy.
+	ParseCityADRPolicy = engine.ParseADRPolicy
+	// CityADRPolicies lists every policy in declaration order.
+	CityADRPolicies = engine.ADRPolicies
+	// NewCaptureModel wraps a receiver with the capture effect at a margin
+	// (dB) under the urban shadowing spread and default SIR matrix;
+	// NewCaptureModelWithSIR exposes both knobs.
+	NewCaptureModel        = interfere.New
+	NewCaptureModelWithSIR = interfere.NewWithSIR
+	// RunInterfereSweep runs the paired Choir-vs-ADR density sweep.
+	RunInterfereSweep = interfere.RunSweep
+	// FprintInterfereSweep writes the sweep as an aligned text table.
+	FprintInterfereSweep = interfere.Fprint
+	// InterfereSweepFigure renders one goodput series per variant.
+	InterfereSweepFigure = interfere.Figure
+	// InterfereVariants lists the comparison matrix columns.
+	InterfereVariants = interfere.Variants
+)
+
+// The four rate-adaptation policies (LoRaSim experiments 0–5 mapped onto
+// the slotted engine).
+const (
+	CityADRFastestSNR = engine.ADRFastestSNR
+	CityADRFixedSF12  = engine.ADRFixedSF12
+	CityADRDistance   = engine.ADRDistance
+	CityADRTxPower    = engine.ADRTxPower
 )
 
 // Fault injection (package internal/fault): deterministic, seeded IQ

@@ -62,6 +62,7 @@ func suite() []benchmark {
 		{Name: "BenchmarkGatewaySustained", PinNs: true, Fn: benchGatewaySustained},
 		{Name: "BenchmarkHeadline", PinNs: true, Fn: benchHeadline},
 		{Name: "BenchmarkCityScale", PinNs: true, Fn: benchCityScale},
+		{Name: "BenchmarkCityScaleInterfere", PinNs: true, Fn: benchCityScaleInterfere},
 	}
 }
 
@@ -288,6 +289,45 @@ func benchCityScale(b *testing.B) {
 		Receiver:       choir.CityModelReceiver{Success: choir.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30},
 		Seed:           2026,
 		Shards:         8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		m, err := choir.RunCity(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += m.Events
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(ms.HeapInuse), "peak-rss-bytes")
+}
+
+// benchCityScaleInterfere is benchCityScale with the interference suite
+// switched on: one co-channel foreign network and the capture-effect
+// receiver wrapping the same Choir decode table. It pins the cost of the
+// new hot path — per-contended-slot foreign Poisson draws plus the
+// capture/orthogonality math in every group's probability — on top of the
+// baseline engine, in sustained events/sec.
+func benchCityScaleInterfere(b *testing.B) {
+	cfg := choir.CityConfig{
+		Scheme:         choir.SchemeChoir,
+		Driver:         choir.CityDriverEvent,
+		Nodes:          100_000,
+		Gateways:       1,
+		Slots:          2000,
+		ArrivalPerSlot: 2e-5,
+		SideM:          1200,
+		PayloadLen:     12,
+		Receiver: choir.NewCaptureModel(
+			choir.CityModelReceiver{Success: choir.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30}, 6),
+		Foreign: []choir.CityForeignConfig{{Nodes: 20_000, ArrivalPerSlot: 2e-5}},
+		Seed:    2026,
+		Shards:  8,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -9,17 +9,24 @@
 //	choir-sim -exp faultsweep -fault drop -fault-rate 0.4
 //	choir-sim -exp city -nodes 100000,1000000   # city-scale density sweep
 //	choir-sim -exp city -engine slot -nodes 5000  # serial reference driver
+//	choir-sim -exp interfere -nodes 200,500 -foreign-nodes 200  # vs ADR under interference
 //	choir-sim -compare-backends       # head-to-head backend comparison
 //	choir-sim -compare-backends -backends choir,superposed \
 //	    -fixtures 'internal/choir/testdata/golden/*.iq'
 //
 // Experiments: fig7ab fig7cd fig8abc fig8d fig8e fig8f fig9a fig9b fig10
-// fig11a fig11b fig12 e2e faultsweep headline city all
+// fig11a fig11b fig12 e2e faultsweep headline city interfere all
 //
 // -exp city runs the event-driven city-scale engine (DESIGN.md §15) as a
 // density sweep over -nodes, with -engine selecting the event driver or the
 // slot-walk reference (bit-identical metrics, different wall clock), and
 // -gateways/-shards/-arrival shaping the deployment.
+//
+// -exp interfere runs the multi-network interference suite (DESIGN.md §17):
+// a paired goodput-vs-density sweep comparing Choir's collision decoding
+// against the four ADR policies, under -foreign-networks co-channel foreign
+// networks of -foreign-nodes nodes each and a -capture-margin dB capture
+// model. The table is bit-identical for any -workers/-shards value.
 //
 // SIGINT/SIGTERM cancel the in-flight experiment cooperatively: no new
 // trial starts, the metrics snapshot still flushes, and the process exits
@@ -74,6 +81,10 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	gateways := fs.Int("gateways", 1, "gateway count for -exp city")
 	shards := fs.Int("shards", 0, "spatial shards for -exp city (0 = 1; metrics are identical for any value)")
 	arrival := fs.Float64("arrival", 2e-5, "per-node per-slot arrival probability for -exp city")
+	foreignNets := fs.Int("foreign-networks", 1, "co-channel foreign network count for -exp interfere")
+	foreignNodes := fs.Int("foreign-nodes", 1000, "nodes per foreign network for -exp interfere")
+	foreignArrival := fs.Float64("foreign-arrival", 0, "per-foreign-node per-slot offered load for -exp interfere (0 = same as -arrival)")
+	captureMargin := fs.Float64("capture-margin", 6, "capture-effect power margin in dB for -exp interfere (0 disables capture and cross-SF leakage)")
 	faultClass := fs.String("fault", "all", "fault class for -exp faultsweep: clip, drop, interferer, drift, truncate, or all")
 	faultRate := fs.Float64("fault-rate", 0, "single fault intensity in (0,1] for -exp faultsweep; 0 sweeps the default intensity grid")
 	compare := fs.Bool("compare-backends", false, "run the head-to-head backend comparison instead of -exp")
@@ -263,6 +274,46 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			choir.FprintCitySweep(stdout, points)
 			return nil
 		},
+		"interfere": func(ctx context.Context) error {
+			driver, err := choir.ParseCityDriver(*engineName)
+			if err != nil {
+				return err
+			}
+			densities, err := parseNodeList(*nodesList)
+			if err != nil {
+				return err
+			}
+			fa := *foreignArrival
+			if fa == 0 {
+				fa = *arrival
+			}
+			scfg := choir.InterfereSweepConfig{
+				Base: choir.CityConfig{
+					Driver:         driver,
+					Gateways:       *gateways,
+					Slots:          *slots,
+					ArrivalPerSlot: *arrival,
+					Seed:           *seed,
+					Shards:         *shards,
+					Workers:        *workers,
+				},
+				Densities: densities,
+				MarginDB:  *captureMargin,
+			}
+			for i := 0; i < *foreignNets; i++ {
+				scfg.Base.Foreign = append(scfg.Base.Foreign, choir.CityForeignConfig{
+					Nodes:          *foreignNodes,
+					ArrivalPerSlot: fa,
+					ADR:            choir.CityADRFastestSNR,
+				})
+			}
+			sweep, err := choir.RunInterfereSweep(ctx, scfg)
+			if err != nil {
+				return err
+			}
+			choir.FprintInterfereSweep(stdout, sweep)
+			return nil
+		},
 		"headline": func(ctx context.Context) error {
 			h, err := choir.ComputeHeadlineCtx(ctx, cfg)
 			if err != nil {
@@ -278,7 +329,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	order := []string{"fig7ab", "fig7cd", "fig8abc", "fig8d", "fig8e", "fig8f",
-		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline", "city"}
+		"fig9a", "fig9b", "fig10", "fig11a", "fig11b", "fig12", "e2e", "faultsweep", "headline", "city", "interfere"}
 
 	report := func(id string, err error) int {
 		// Interrupted and failed are different outcomes: a canceled context

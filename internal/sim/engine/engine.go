@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/bits"
 
+	"choir/internal/channel"
 	"choir/internal/ctxutil"
 	"choir/internal/exec"
 	"choir/internal/lora"
@@ -70,6 +71,124 @@ func ParseDriver(s string) (Driver, error) {
 	}
 }
 
+// ADRPolicy selects how a node picks its spreading factor and transmit
+// power, mirroring LoRaSim's experiment matrix (experiments 0–5): real
+// urban deployments differ less in their PHY than in how aggressively each
+// node adapts its rate, and the interference sweep compares exactly that.
+type ADRPolicy int
+
+const (
+	// ADRFastestSNR picks the fastest SF whose demodulation threshold the
+	// node's measured (shadowed) SNR clears — LoRaWAN rate adaptation with
+	// perfect link measurement, and this engine's original behavior
+	// (LoRaSim experiments 2/4). The zero value, so existing configs are
+	// unchanged.
+	ADRFastestSNR ADRPolicy = iota
+	// ADRFixedSF12 pins every node at the slowest, most robust rate
+	// (LoRaSim experiment 0): maximum range, worst airtime, and every node
+	// in one collision group per gateway.
+	ADRFixedSF12
+	// ADRDistance picks the SF from the node's distance alone — the median
+	// path loss with no shadowing term (LoRaSim experiment 3). Shadowed
+	// nodes overshoot: a node whose real SNR falls below its
+	// distance-chosen SF's threshold is unreachable, which is exactly the
+	// failure mode that separates experiments 3 and 4.
+	ADRDistance
+	// ADRTxPower is ADRDistance plus transmit-power minimization (LoRaSim
+	// experiment 5): the node keeps the distance-chosen SF but transmits at
+	// the lowest power in TxPowersDBm whose median SNR still clears the
+	// threshold, trading link margin for energy.
+	ADRTxPower
+
+	numADRPolicies
+)
+
+// String implements fmt.Stringer; the names round-trip through
+// ParseADRPolicy.
+func (p ADRPolicy) String() string {
+	switch p {
+	case ADRFastestSNR:
+		return "snr"
+	case ADRFixedSF12:
+		return "sf12"
+	case ADRDistance:
+		return "distance"
+	case ADRTxPower:
+		return "power"
+	default:
+		return fmt.Sprintf("ADRPolicy(%d)", int(p))
+	}
+}
+
+// ParseADRPolicy inverts ADRPolicy.String.
+func ParseADRPolicy(s string) (ADRPolicy, error) {
+	for p := ADRFastestSNR; p < numADRPolicies; p++ {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown ADR policy %q (want snr, sf12, distance, or power)", s)
+}
+
+// ADRPolicies returns every policy, in declaration order.
+func ADRPolicies() []ADRPolicy {
+	out := make([]ADRPolicy, numADRPolicies)
+	for i := range out {
+		out[i] = ADRPolicy(i)
+	}
+	return out
+}
+
+// TxPowersDBm is the candidate transmit-power ladder ADRTxPower chooses
+// from (every other policy transmits at the top rung, the paper's 14 dBm
+// client power). Indexes into this array are the pwr field of nodeState and
+// the second axis of the energy table.
+var TxPowersDBm = [5]float64{2, 5, 8, 11, 14}
+
+// defaultPwrIdx is the full-power rung every non-power-optimizing policy
+// uses.
+const defaultPwrIdx = uint8(len(TxPowersDBm) - 1)
+
+// ForeignConfig describes one co-channel foreign LP-WAN sharing the city:
+// its own node population, traffic process, and rate-adaptation policy.
+// Foreign nodes are placed uniformly over the same city square, adapt
+// against the same gateway grid (co-located deployments, LoRaSim's
+// basedist=0 multi-network setup), and contribute interference — they are
+// never decoded for us and keep no queues. Their slot-level transmitter
+// counts are modeled as a Poisson offered load: each reachable foreign
+// node contributes ArrivalPerSlot to its (gateway, SF) group's rate, and
+// every contended slot draws the group count from that rate. The
+// memorylessness is what lets both drivers evaluate foreign traffic lazily
+// — a pure function of (seed, gateway, SF, slot) — without simulating
+// foreign queues, so the O(home events) cost model survives.
+type ForeignConfig struct {
+	// Nodes is the foreign network's population.
+	Nodes int
+	// ArrivalPerSlot is each foreign node's per-slot transmission
+	// probability (offered load, not queue-backed).
+	ArrivalPerSlot float64
+	// ADR is the foreign network's rate-adaptation policy, fixing each
+	// foreign node's SF at init.
+	ADR ADRPolicy
+}
+
+// ForeignSlotSuccess extends mac.SlotSuccess for interfered slots: the
+// per-transmission decode probability may depend not only on the home
+// same-group contention k but on the foreign transmitter counts heard at
+// the same gateway across every SF (same-SF foreign frames contend,
+// cross-SF frames leak through imperfect orthogonality). The capture-effect
+// model in internal/sim/interfere implements it; a plain mac.SlotSuccess
+// still works with foreign networks — the engine then adds the same-SF
+// foreign count to k and ignores cross-SF leakage.
+type ForeignSlotSuccess interface {
+	mac.SlotSuccess
+	// PerTxProbForeign returns the probability that one of k concurrent
+	// same-(gateway, SF) home transmissions decodes, given foreign[j]
+	// concurrent foreign transmissions at spreading factor SF7+j heard by
+	// the same gateway. sfIdx is the home group's SF index (0 = SF7).
+	PerTxProbForeign(k int, sfIdx int, foreign *[6]int32) float64
+}
+
 // Config parameterizes a city simulation.
 type Config struct {
 	// Scheme is the MAC under test: SchemeAloha or SchemeChoir.
@@ -112,8 +231,16 @@ type Config struct {
 	// Receiver is the per-(gateway, SF) slot-level PHY: with k concurrent
 	// same-gateway same-SF transmissions, each decodes independently with
 	// probability Receiver.PerTxProb(k), and at most Receiver.Capacity()
-	// decode per group per slot.
+	// decode per group per slot. A Receiver that also implements
+	// ForeignSlotSuccess is consulted with the slot's foreign transmitter
+	// counts when foreign networks are configured.
 	Receiver mac.SlotSuccess
+	// ADR selects the home network's rate-adaptation policy (default
+	// ADRFastestSNR, the engine's original behavior).
+	ADR ADRPolicy
+	// Foreign lists the co-channel foreign networks interfering with this
+	// one. Empty means the original single-network model, bit-identically.
+	Foreign []ForeignConfig
 	// Seed drives all randomness through exec.DeriveSeed.
 	Seed uint64
 	// Shards is the number of spatial node partitions (contiguous ID
@@ -154,8 +281,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: SlotSeconds %g < 0", c.SlotSeconds)
 	case c.Receiver == nil:
 		return fmt.Errorf("engine: nil Receiver")
+	case c.ADR < ADRFastestSNR || c.ADR >= numADRPolicies:
+		return fmt.Errorf("engine: unknown ADR policy %d", int(c.ADR))
 	case c.Shards < 0:
 		return fmt.Errorf("engine: Shards %d < 0", c.Shards)
+	}
+	for fi, fn := range c.Foreign {
+		switch {
+		case fn.Nodes < 0:
+			return fmt.Errorf("engine: Foreign[%d].Nodes %d < 0", fi, fn.Nodes)
+		case fn.ArrivalPerSlot < 0 || fn.ArrivalPerSlot > 1 || math.IsNaN(fn.ArrivalPerSlot):
+			return fmt.Errorf("engine: Foreign[%d].ArrivalPerSlot %g outside [0,1]", fi, fn.ArrivalPerSlot)
+		case fn.ADR < ADRFastestSNR || fn.ADR >= numADRPolicies:
+			return fmt.Errorf("engine: Foreign[%d]: unknown ADR policy %d", fi, int(fn.ADR))
+		}
 	}
 	return nil
 }
@@ -172,6 +311,14 @@ const (
 	dimVeto    = 5 // unslotted-ALOHA overlap draws: (tag, node, slot, j)
 	dimBackoff = 6 // ALOHA backoff offset: (tag, node, slot)
 	dimSweep   = 7 // density-sweep per-point seeds: (tag, point, trial)
+
+	// Foreign-network dimensions. Foreign draws live in their own hash
+	// families, so configuring foreign networks can never shift a home
+	// node's placement, shadowing, arrival, or decode draws — the
+	// zero-foreign transparency test pins that.
+	dimForeignPos    = 8  // foreign node placement: (tag, net, node, axis)
+	dimForeignShadow = 9  // foreign node shadowing: (tag, net, node)
+	dimForeignTx     = 10 // foreign slot counts: (tag, gateway, slot, sfIdx, draw)
 )
 
 // unitOf maps a derived hash to a uniform float64 in [0,1), the same
@@ -197,6 +344,8 @@ type nodeState struct {
 	// otherwise 7..12.
 	sf         int8
 	backoffExp uint8
+	// pwr indexes TxPowersDBm: the node's ADR-chosen transmit-power rung.
+	pwr uint8
 }
 
 // wakeOf returns the node's next wake slot: the earlier of its next
@@ -232,10 +381,28 @@ type core struct {
 	gwPosY     []float64
 	noiseFloor float64
 	shadowSig  float64
+	pl         channel.PathLossModel
+
+	// energyNJ[sfIdx][pwrIdx] is one transmission's radiated energy in
+	// integer nanojoules (airtime × linear milliwatts). Integer so the
+	// shard-fold order of Metrics.add can never change the total — float
+	// accumulation would break the S=1≡S=8 bit-identity pins.
+	energyNJ [6][5]int64
 
 	// Per-dimension chain heads: hX = Mix(Start(seed), dimX), so one draw
 	// is one or two more Mix folds — no allocation, no shared stream.
 	hPos, hShadow, hArrival, hDecode, hVeto, hBackoff uint64
+
+	// Foreign-network offered load, resolved once at init: foreignRate[gw]
+	// holds the summed per-slot transmission rate of every reachable
+	// foreign node attached to gw, by SF index. foreignOn gates the whole
+	// interference path so zero-foreign configs skip it entirely; frx is
+	// the Receiver's ForeignSlotSuccess view, nil when it only implements
+	// mac.SlotSuccess.
+	hForeignTx  uint64
+	foreignRate [][6]float64
+	foreignOn   bool
+	frx         ForeignSlotSuccess
 
 	nodes []nodeState
 }
@@ -299,9 +466,17 @@ func newCore(cfg Config) *core {
 		c.gwPosX = append(c.gwPosX, (float64(col)+0.5)*c.sideM/float64(gwCols))
 		c.gwPosY = append(c.gwPosY, (float64(row)+0.5)*c.sideM/float64(gwRows))
 	}
-	pl := sim.UrbanChannel()
+	c.pl = sim.UrbanChannel()
 	c.noiseFloor = sim.ReceiverConfig().NoiseFloorDBm
-	c.shadowSig = pl.ShadowSigmaDB
+	c.shadowSig = c.pl.ShadowSigmaDB
+	for si := range c.energyNJ {
+		air := sfParams(si).AirTime(cfg.PayloadLen)
+		for pi, dbm := range TxPowersDBm {
+			// mW × s = mJ; ×1e6 → nJ. Rounded once here, accumulated as
+			// integers forever after.
+			c.energyNJ[si][pi] = int64(math.Round(air * math.Pow(10, dbm/10) * 1e6))
+		}
+	}
 
 	h0 := exec.Start(cfg.Seed)
 	c.hPos = exec.Mix(h0, dimPos)
@@ -310,7 +485,46 @@ func newCore(cfg Config) *core {
 	c.hDecode = exec.Mix(h0, dimDecode)
 	c.hVeto = exec.Mix(h0, dimVeto)
 	c.hBackoff = exec.Mix(h0, dimBackoff)
+	c.hForeignTx = exec.Mix(h0, dimForeignTx)
+	c.initForeign(exec.Mix(h0, dimForeignPos), exec.Mix(h0, dimForeignShadow))
 	return c
+}
+
+// initForeign resolves every foreign node's channel once — placement,
+// shadowing, and its network's ADR choice — and folds the reachable ones
+// into per-(gateway, SF) Poisson rates. Foreign nodes keep no queues: their
+// slot-level transmitter counts are drawn from these rates on demand, so a
+// foreign network adds O(gateways) state, not O(nodes).
+func (c *core) initForeign(hFP, hFS uint64) {
+	for _, fn := range c.cfg.Foreign {
+		if fn.Nodes > 0 && fn.ArrivalPerSlot > 0 {
+			c.foreignOn = true
+		}
+	}
+	if !c.foreignOn {
+		return
+	}
+	c.frx, _ = c.cfg.Receiver.(ForeignSlotSuccess)
+	c.foreignRate = make([][6]float64, len(c.gwPosX))
+	for ni, fn := range c.cfg.Foreign {
+		if fn.Nodes <= 0 || fn.ArrivalPerSlot <= 0 {
+			continue
+		}
+		hp := exec.Mix(hFP, uint64(ni))
+		hs := exec.Mix(hFS, uint64(ni))
+		for j := 0; j < fn.Nodes; j++ {
+			hpj := exec.Mix(hp, uint64(j))
+			x := unitOf(exec.Mix(hpj, 0)) * c.sideM
+			y := unitOf(exec.Mix(hpj, 1)) * c.sideM
+			gw, d := c.nearestGW(x, y)
+			z := shadowZ(exec.Mix(hs, uint64(j)))
+			sf, _, ok := c.adrSelect(fn.ADR, d, z)
+			if !ok {
+				continue
+			}
+			c.foreignRate[gw][int(sf)-7] += fn.ArrivalPerSlot
+		}
+	}
 }
 
 // ctxCheckInterval is how many driver iterations (slots for the reference
@@ -356,16 +570,32 @@ func (c *core) initArrivals(i int32) {
 
 // resolveChannel lazily evaluates node i's channel state on first wake:
 // position from the jittered grid, nearest gateway, median path loss plus
-// deterministic log-normal shadowing, then LoRaWAN rate adaptation. It
-// returns false — and parks the node forever — when even SF12 cannot reach
-// the gateway. The evaluation is pure in (Seed, i), so it never matters
-// which driver, shard, or worker performs it.
+// deterministic log-normal shadowing, then the configured ADR policy's
+// SF/TX-power choice. It returns false — and parks the node forever — when
+// the policy's choice cannot reach the gateway. The evaluation is pure in
+// (Seed, i), so it never matters which driver, shard, or worker performs
+// it.
 func (c *core) resolveChannel(ns *nodeState, i int32) bool {
 	hp := exec.Mix(c.hPos, uint64(i))
 	col, row := int(i)%c.grid, int(i)/c.grid
 	x := (float64(col) + unitOf(exec.Mix(hp, 0))) * c.cellM
 	y := (float64(row) + unitOf(exec.Mix(hp, 1))) * c.cellM
+	gw, d := c.nearestGW(x, y)
+	z := shadowZ(exec.Mix(c.hShadow, uint64(i)))
+	sf, pwr, ok := c.adrSelect(c.cfg.ADR, d, z)
+	if !ok {
+		ns.sf = -1
+		return false
+	}
+	ns.sf = sf
+	ns.gw = gw
+	ns.pwr = pwr
+	return true
+}
 
+// nearestGW maps a position to its nearest gateway (by grid cell) and the
+// distance to it, shared by home and foreign channel resolution.
+func (c *core) nearestGW(x, y float64) (int32, float64) {
 	gcol := int(x / c.sideM * float64(c.gwCols))
 	if gcol >= c.gwCols {
 		gcol = c.gwCols - 1
@@ -382,23 +612,66 @@ func (c *core) resolveChannel(ns *nodeState, i int32) bool {
 	if d < 1 {
 		d = 1
 	}
+	return int32(gw), d
+}
 
-	hs := exec.Mix(c.hShadow, uint64(i))
+// shadowZ draws a standard normal from the node's shadowing chain head via
+// Box-Muller on (1-u1, u2): log1p(-u1) keeps the argument nonzero.
+func shadowZ(hs uint64) float64 {
 	u1 := unitOf(exec.Mix(hs, 0))
 	u2 := unitOf(exec.Mix(hs, 1))
-	// Box-Muller on (1-u1, u2): log1p(-u1) keeps the argument nonzero.
-	z := math.Sqrt(-2*math.Log1p(-u1)) * math.Cos(2*math.Pi*u2)
+	return math.Sqrt(-2*math.Log1p(-u1)) * math.Cos(2*math.Pi*u2)
+}
 
-	loss := sim.UrbanChannel().LossDB(d, nil) + c.shadowSig*z
+// adrSelect applies a rate-adaptation policy to a link of distance d with
+// shadowing realization z and returns the chosen spreading factor, the
+// transmit-power rung, and whether the link closes at that choice. Pure in
+// its arguments, so it never matters which driver, shard, or worker (or
+// home vs foreign init) evaluates it. The ADRFastestSNR arm reproduces the
+// original resolveChannel float operations exactly — the zero-value policy
+// is bit-identical to the pre-ADR engine.
+func (c *core) adrSelect(policy ADRPolicy, d, z float64) (sf int8, pwr uint8, ok bool) {
+	medLoss := c.pl.LossDB(d, nil)
+	loss := medLoss + c.shadowSig*z
 	snr := sim.ClientPowerDBm - loss - c.noiseFloor
-	p, ok := sim.RateForSNR(snr)
-	if !ok {
-		ns.sf = -1
-		return false
+	switch policy {
+	case ADRFixedSF12:
+		if snr < sim.DemodThresholdDB(lora.SF12)+1 {
+			return -1, defaultPwrIdx, false
+		}
+		return int8(lora.SF12), defaultPwrIdx, true
+	case ADRDistance, ADRTxPower:
+		// The SF comes from the median (shadowing-blind) link budget; the
+		// real, shadowed SNR then has to clear the chosen SF's threshold or
+		// the node overshot and cannot be served.
+		medSNR := sim.ClientPowerDBm - medLoss - c.noiseFloor
+		p, okm := sim.RateForSNR(medSNR)
+		if !okm {
+			return -1, defaultPwrIdx, false
+		}
+		thr := sim.DemodThresholdDB(p.SF) + 1
+		pwr = defaultPwrIdx
+		if policy == ADRTxPower {
+			// Lowest rung whose median SNR still clears the threshold; the
+			// distance check above guarantees the top rung does.
+			for i, dbm := range TxPowersDBm {
+				if dbm-medLoss-c.noiseFloor >= thr {
+					pwr = uint8(i)
+					break
+				}
+			}
+		}
+		if TxPowersDBm[pwr]-loss-c.noiseFloor < thr {
+			return -1, defaultPwrIdx, false
+		}
+		return int8(p.SF), pwr, true
+	default: // ADRFastestSNR
+		p, okf := sim.RateForSNR(snr)
+		if !okf {
+			return -1, defaultPwrIdx, false
+		}
+		return int8(p.SF), defaultPwrIdx, true
 	}
-	ns.sf = int8(p.SF)
-	ns.gw = int32(gw)
-	return true
 }
 
 // groupOf returns the node's collision group: transmissions collide only
@@ -464,6 +737,7 @@ func (c *core) finishTx(ns *nodeState, i int32, s int64, delivered bool, m *Metr
 	sfIdx := int(ns.sf) - 7
 	m.Transmissions++
 	m.PerSFTx[sfIdx]++
+	m.TxEnergyNJ += c.energyNJ[sfIdx][ns.pwr]
 	if delivered {
 		p := ns.queue.Pop()
 		lat := s - int64(p.ArrivalSlot) + 1

@@ -43,6 +43,20 @@ func randomConfig(rng *rand.Rand) Config {
 		// binds hard, exercising the cross-shard grant prefix.
 		cfg.Receiver = mac.ModelReceiver{Success: []float64{1, 0.9, 0.7, 0.5}, MaxConcurrent: 2}
 	}
+	// Every ADR policy and the foreign-network interference path (via the
+	// plain-SlotSuccess fallback: same-SF foreign counts join contention)
+	// are part of the equivalence property's search space too.
+	cfg.ADR = ADRPolicy(rng.IntN(int(numADRPolicies)))
+	if rng.IntN(2) == 0 {
+		cfg.Foreign = []ForeignConfig{{
+			Nodes:          rng.IntN(200),
+			ArrivalPerSlot: []float64{0, 0.02, 0.3}[rng.IntN(3)],
+			ADR:            ADRPolicy(rng.IntN(int(numADRPolicies))),
+		}}
+		if rng.IntN(2) == 0 {
+			cfg.Foreign = append(cfg.Foreign, ForeignConfig{Nodes: 50, ArrivalPerSlot: 0.1})
+		}
+	}
 	return cfg
 }
 
@@ -229,6 +243,10 @@ func TestValidateRejects(t *testing.T) {
 		{"receiver", func(c *Config) { c.Receiver = nil }, "Receiver"},
 		{"driver", func(c *Config) { c.Driver = Driver(7) }, "driver"},
 		{"shards", func(c *Config) { c.Shards = -2 }, "Shards"},
+		{"adr", func(c *Config) { c.ADR = ADRPolicy(9) }, "ADR"},
+		{"foreign-nodes", func(c *Config) { c.Foreign = []ForeignConfig{{Nodes: -1}} }, "Foreign[0]"},
+		{"foreign-arrival", func(c *Config) { c.Foreign = []ForeignConfig{{Nodes: 1, ArrivalPerSlot: 2}} }, "Foreign[0]"},
+		{"foreign-adr", func(c *Config) { c.Foreign = []ForeignConfig{{ADR: ADRPolicy(-1)}} }, "Foreign[0]"},
 	}
 	for _, tc := range cases {
 		cfg := good

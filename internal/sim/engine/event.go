@@ -71,6 +71,7 @@ func runEvent(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) 
 		probs       = map[uint32]float64{}
 		lastSlot    = int64(-2)
 		activeSlots = int64(0)
+		fsl         foreignSlot
 	)
 	for {
 		// One iteration processes an entire active slot — thousands of
@@ -83,7 +84,7 @@ func runEvent(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) 
 		// previous slot has joined — so partial shard totals are safe to
 		// fold and stream for live progress.
 		if activeSlots > 0 && activeSlots%liveFlushInterval == 0 && obs.Enabled() {
-			cur := Metrics{ActiveSlots: activeSlots}
+			cur := Metrics{ActiveSlots: activeSlots, ForeignTx: fsl.total}
 			for si := range shards {
 				cur.add(&shards[si].m)
 			}
@@ -132,11 +133,14 @@ func runEvent(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) 
 		}
 		maxK := int32(0)
 		clear(probs)
+		if c.foreignOn {
+			fsl.beginSlot()
+		}
 		for g, k := range totalK {
 			if k > maxK {
 				maxK = k
 			}
-			probs[g] = c.cfg.Receiver.PerTxProb(int(k))
+			probs[g] = c.groupProb(&fsl, g, k, s)
 		}
 		prevContig := lastSlot == s-1
 
@@ -223,5 +227,6 @@ func runEvent(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) 
 		m.add(&shards[si].m)
 	}
 	m.ActiveSlots = activeSlots
+	m.ForeignTx = fsl.total
 	return m, nil
 }

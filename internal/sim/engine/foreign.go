@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"math"
+
+	"choir/internal/exec"
+)
+
+// maxForeignDraw caps one (gateway, SF, slot) foreign transmitter draw.
+// Knuth inversion costs O(λ) uniforms per draw, so a pathological offered
+// load (millions of foreign nodes at saturation) would otherwise turn every
+// contended slot into a million-fold hash walk; beyond ~16k concurrent
+// foreign frames every receiver model is at zero anyway.
+const maxForeignDraw = 1 << 14
+
+// poissonChunkLambda bounds each Knuth-inversion chunk so exp(-λ) stays
+// comfortably above the smallest normal float64 (exp(-500) ≈ 7e-218).
+const poissonChunkLambda = 500
+
+// poisson draws Poisson(lam) by chunked Knuth inversion with uniforms from
+// the hash chain h — pure in (h, lam), so the draw is identical no matter
+// which driver, shard, or worker asks for it. A Poisson(λ) is the sum of
+// independent Poisson(λ/n) chunks, which sidesteps exp underflow at large λ.
+func poisson(h uint64, lam float64) int32 {
+	var n int32
+	t := uint64(0)
+	for lam > 0 {
+		l := lam
+		if l > poissonChunkLambda {
+			l = poissonChunkLambda
+		}
+		lam -= l
+		L := math.Exp(-l)
+		p := 1.0
+		for {
+			p *= unitOf(exec.Mix(h, t))
+			t++
+			if p <= L {
+				break
+			}
+			n++
+			if n >= maxForeignDraw {
+				return maxForeignDraw
+			}
+		}
+	}
+	return n
+}
+
+// foreignSlot memoizes one slot's foreign transmitter draws per gateway, so
+// the several (gateway, SF) home groups a busy gateway hosts share a single
+// draw, and tallies the run's total foreign transmissions heard. Drivers
+// reset it at each contended slot's serial merge point and fold total into
+// Metrics.ForeignTx.
+type foreignSlot struct {
+	counts map[int32][6]int32
+	total  int64
+}
+
+// beginSlot clears the per-slot memo (the run total survives).
+func (fs *foreignSlot) beginSlot() {
+	if fs.counts == nil {
+		fs.counts = map[int32][6]int32{}
+		return
+	}
+	clear(fs.counts)
+}
+
+// foreignFor returns gateway gw's foreign transmitter counts by SF for slot
+// s, drawing them on first request. Each count is keyed purely on
+// (Seed, dimForeignTx, gw, s, sfIdx), so the set of gateways asked about —
+// identical across drivers, since it is exactly the gateways with home
+// transmitters that slot — is the only thing callers control; the values
+// never depend on evaluation order.
+func (c *core) foreignFor(fs *foreignSlot, gw int32, s int64) [6]int32 {
+	if nf, ok := fs.counts[gw]; ok {
+		return nf
+	}
+	var nf [6]int32
+	hg := exec.Mix(exec.Mix(c.hForeignTx, uint64(gw)), uint64(s))
+	for si, lam := range &c.foreignRate[gw] {
+		if lam <= 0 {
+			continue
+		}
+		n := poisson(exec.Mix(hg, uint64(si)), lam)
+		nf[si] = n
+		fs.total += int64(n)
+	}
+	fs.counts[gw] = nf
+	return nf
+}
+
+// groupProb is the per-transmission decode probability for home group g
+// with k concurrent home transmissions at slot s, foreign interference
+// included. With no foreign traffic it is exactly Receiver.PerTxProb(k) —
+// the zero-foreign transparency the equivalence tests pin. A Receiver that
+// implements ForeignSlotSuccess sees the full per-SF foreign counts;
+// otherwise same-SF foreign frames simply join the contention count and
+// cross-SF leakage is ignored.
+func (c *core) groupProb(fs *foreignSlot, g uint32, k int32, s int64) float64 {
+	if !c.foreignOn {
+		return c.cfg.Receiver.PerTxProb(int(k))
+	}
+	gw := int32(g >> 3)
+	sfIdx := int(g & 7)
+	nf := c.foreignFor(fs, gw, s)
+	if c.frx != nil {
+		return c.frx.PerTxProbForeign(int(k), sfIdx, &nf)
+	}
+	return c.cfg.Receiver.PerTxProb(int(k) + int(nf[sfIdx]))
+}

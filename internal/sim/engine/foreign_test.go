@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"choir/internal/exec"
+	"choir/internal/mac"
+	"choir/internal/sim"
+)
+
+// TestZeroForeignTransparency pins the satellite contract: foreign networks
+// that contribute no traffic — zero nodes, or zero offered load — must
+// reproduce the single-network metrics bit-identically on both drivers.
+// Foreign draws live in their own hash dimensions, so this is transparency
+// by construction; the test keeps it that way.
+func TestZeroForeignTransparency(t *testing.T) {
+	base := Config{
+		Scheme:         mac.SchemeChoir,
+		Nodes:          400,
+		Gateways:       2,
+		Slots:          300,
+		ArrivalPerSlot: 0.1,
+		PayloadLen:     12,
+		Receiver:       mac.ModelReceiver{Success: sim.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30},
+		Seed:           31,
+	}
+	for _, driver := range []Driver{DriverEvent, DriverSlot} {
+		cfg := base
+		cfg.Driver = driver
+		want := mustRun(t, cfg)
+		for name, foreign := range map[string][]ForeignConfig{
+			"zero-nodes":   {{Nodes: 0, ArrivalPerSlot: 0.5}},
+			"zero-arrival": {{Nodes: 500, ArrivalPerSlot: 0}},
+			"both":         {{Nodes: 0, ArrivalPerSlot: 0.5}, {Nodes: 500, ArrivalPerSlot: 0}},
+		} {
+			fcfg := cfg
+			fcfg.Foreign = foreign
+			if got := mustRun(t, fcfg); !reflect.DeepEqual(got, want) {
+				t.Fatalf("driver %v, %s foreign network not transparent:\nwant %+v\ngot  %+v", driver, name, want, got)
+			}
+		}
+	}
+	if want := mustRun(t, base); want.Delivered == 0 || want.CollidedTx == 0 {
+		t.Fatalf("degenerate scenario (delivered=%d collided=%d) pins nothing", want.Delivered, want.CollidedTx)
+	}
+}
+
+// TestForeignDeterminism is the bugfix-satellite regression pin: foreign
+// networks multiply the per-slot draw count (one Poisson inversion per
+// contended gateway per SF), and every one of those draws must come from
+// position-keyed hash chains, never a stream shared across workers. The
+// event driver at W=1 ≡ W=8 and S=1 ≡ S=8, and both must equal the serial
+// slot reference, with interference actually flowing (ForeignTx > 0).
+func TestForeignDeterminism(t *testing.T) {
+	cfg := Config{
+		Scheme:         mac.SchemeChoir,
+		Driver:         DriverSlot,
+		Nodes:          300,
+		Gateways:       4,
+		Slots:          200,
+		ArrivalPerSlot: 0.2,
+		PayloadLen:     12,
+		Receiver:       mac.ModelReceiver{Success: sim.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30},
+		ADR:            ADRDistance,
+		Foreign: []ForeignConfig{
+			{Nodes: 300, ArrivalPerSlot: 0.05, ADR: ADRFastestSNR},
+			{Nodes: 100, ArrivalPerSlot: 0.2, ADR: ADRFixedSF12},
+		},
+		Seed: 77,
+	}
+	want := mustRun(t, cfg)
+	if want.ForeignTx == 0 {
+		t.Fatal("no foreign transmissions heard; the scenario pins nothing")
+	}
+	cfg.Driver = DriverEvent
+	for _, shards := range []int{1, 8} {
+		for _, workers := range []int{1, 8} {
+			cfg.Shards = shards
+			cfg.Workers = workers
+			if got := mustRun(t, cfg); !reflect.DeepEqual(got, want) {
+				t.Fatalf("S=%d W=%d diverged from slot reference under foreign load:\nwant %+v\ngot  %+v",
+					shards, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestPoissonDraw pins the inversion sampler: determinism in (h, λ), the
+// λ=0 and cap edge cases, and a coarse mean check across many independent
+// chains (a wrong inversion is off in the first moment long before the
+// tails matter).
+func TestPoissonDraw(t *testing.T) {
+	h0 := exec.Start(123)
+	if n := poisson(h0, 0); n != 0 {
+		t.Fatalf("poisson(h, 0) = %d, want 0", n)
+	}
+	if a, b := poisson(h0, 3.5), poisson(h0, 3.5); a != b {
+		t.Fatalf("poisson not deterministic: %d vs %d", a, b)
+	}
+	for _, lam := range []float64{0.3, 2, 40, 1200} {
+		const trials = 4000
+		var sum float64
+		for i := uint64(0); i < trials; i++ {
+			sum += float64(poisson(exec.Mix(h0, i), lam))
+		}
+		mean := sum / trials
+		// Standard error is sqrt(λ/trials); 6σ keeps the test deterministic
+		// in practice while catching any systematic bias.
+		tol := 6 * math.Sqrt(lam/trials)
+		if math.Abs(mean-lam) > tol {
+			t.Errorf("poisson mean at λ=%g: got %.3f, want within %.3f", lam, mean, tol)
+		}
+	}
+	// A pathological offered load saturates at the cap instead of walking
+	// millions of hash draws.
+	if n := poisson(h0, 1e9); n != maxForeignDraw {
+		t.Fatalf("poisson(h, 1e9) = %d, want cap %d", n, maxForeignDraw)
+	}
+}
+
+// TestForeignDegradesDelivery sanity-checks the model's direction: adding a
+// loud same-city foreign network must not improve the home network's
+// delivery ratio, and energy accounting must move with transmissions.
+func TestForeignDegradesDelivery(t *testing.T) {
+	base := Config{
+		Scheme:         mac.SchemeAloha,
+		Driver:         DriverEvent,
+		Nodes:          300,
+		Slots:          300,
+		ArrivalPerSlot: 0.05,
+		PayloadLen:     12,
+		Receiver:       mac.AlohaReceiver{},
+		Seed:           13,
+		Shards:         4,
+	}
+	clean := mustRun(t, base)
+	base.Foreign = []ForeignConfig{{Nodes: 2000, ArrivalPerSlot: 0.05}}
+	loud := mustRun(t, base)
+	if loud.ForeignTx == 0 {
+		t.Fatal("loud foreign network produced no interference")
+	}
+	if loud.DeliveryRatio() > clean.DeliveryRatio() {
+		t.Errorf("interference improved delivery: %.4f > %.4f", loud.DeliveryRatio(), clean.DeliveryRatio())
+	}
+	for _, m := range []*Metrics{clean, loud} {
+		if (m.Transmissions > 0) != (m.TxEnergyNJ > 0) {
+			t.Errorf("energy accounting out of step with transmissions: %+v", m)
+		}
+	}
+}

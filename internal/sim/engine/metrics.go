@@ -34,6 +34,14 @@ type Metrics struct {
 	// spreading factor (index 0 = SF7 .. 5 = SF12).
 	PerSFTx        [6]int64
 	PerSFDelivered [6]int64
+	// TxEnergyNJ is the total radiated transmit energy in nanojoules:
+	// each transmission's per-SF airtime × its ADR-chosen power rung,
+	// accumulated as integers so the shard-fold order cannot change it.
+	TxEnergyNJ int64
+	// ForeignTx counts foreign-network transmissions heard during the
+	// home network's contended slots (the interference actually faced;
+	// foreign traffic in slots with no home transmitter is never drawn).
+	ForeignTx int64
 
 	// Latency.
 	TotalLatencySlots int64
@@ -60,6 +68,8 @@ func (m *Metrics) add(o *Metrics) {
 		m.PerSFTx[i] += o.PerSFTx[i]
 		m.PerSFDelivered[i] += o.PerSFDelivered[i]
 	}
+	m.TxEnergyNJ += o.TxEnergyNJ
+	m.ForeignTx += o.ForeignTx
 	m.TotalLatencySlots += o.TotalLatencySlots
 	for i := range m.LatencyHist {
 		m.LatencyHist[i] += o.LatencyHist[i]
@@ -122,6 +132,8 @@ var (
 	cTransmissions = obs.NewCounter("city.transmissions")
 	cCollidedTx    = obs.NewCounter("city.collided_tx")
 	cUnreachable   = obs.NewCounter("city.unreachable")
+	cTxEnergyNJ    = obs.NewCounter("city.tx_energy_nj")
+	cForeignTx     = obs.NewCounter("city.foreign_tx")
 )
 
 // liveFlushInterval is how many work units (slots for the reference
@@ -155,6 +167,8 @@ func (lp *liveProgress) flush(cur *Metrics) {
 	cTransmissions.Add(cur.Transmissions - lp.streamed.Transmissions)
 	cCollidedTx.Add(cur.CollidedTx - lp.streamed.CollidedTx)
 	cUnreachable.Add(cur.Unreachable - lp.streamed.Unreachable)
+	cTxEnergyNJ.Add(cur.TxEnergyNJ - lp.streamed.TxEnergyNJ)
+	cForeignTx.Add(cur.ForeignTx - lp.streamed.ForeignTx)
 	lp.streamed = *cur
 }
 
@@ -169,6 +183,8 @@ func (lp *liveProgress) rollback() {
 	cTransmissions.Add(-lp.streamed.Transmissions)
 	cCollidedTx.Add(-lp.streamed.CollidedTx)
 	cUnreachable.Add(-lp.streamed.Unreachable)
+	cTxEnergyNJ.Add(-lp.streamed.TxEnergyNJ)
+	cForeignTx.Add(-lp.streamed.ForeignTx)
 	lp.streamed = Metrics{}
 }
 

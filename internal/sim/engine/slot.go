@@ -23,6 +23,7 @@ func runSlot(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) {
 		probs      = map[uint32]float64{}
 		taken      = map[uint32]int32{}
 		lastSlot   = int64(-2)
+		fsl        foreignSlot
 	)
 	for s := int64(0); s < c.slots; s++ {
 		if s%ctxCheckInterval == 0 && ctx.Err() != nil {
@@ -53,9 +54,13 @@ func runSlot(ctx context.Context, c *core, lp *liveProgress) (*Metrics, error) {
 
 		clear(probs)
 		clear(taken)
-		for g, k := range counts {
-			probs[g] = c.cfg.Receiver.PerTxProb(int(k))
+		if c.foreignOn {
+			fsl.beginSlot()
 		}
+		for g, k := range counts {
+			probs[g] = c.groupProb(&fsl, g, k, s)
+		}
+		m.ForeignTx = fsl.total
 		prevContig := lastSlot == s-1
 		for _, i := range txNodes {
 			ns := &c.nodes[i]

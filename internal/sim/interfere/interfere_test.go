@@ -1,0 +1,235 @@
+package interfere
+
+import (
+	"context"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"choir/internal/mac"
+	"choir/internal/sim"
+	"choir/internal/sim/engine"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden sweep table")
+
+// TestCaptureZeroMarginTransparent pins the sentinel: MarginDB <= 0 makes
+// the CaptureModel bit-transparent to its base receiver — identical
+// PerTxProb for every k, and PerTxProbForeign degenerating to the plain
+// add-same-SF-count fallback.
+func TestCaptureZeroMarginTransparent(t *testing.T) {
+	base := mac.ModelReceiver{Success: sim.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30}
+	cm := New(base, 0)
+	if cm.Capacity() != base.Capacity() {
+		t.Fatalf("capacity changed: %d vs %d", cm.Capacity(), base.Capacity())
+	}
+	for k := 1; k <= 40; k++ {
+		if got, want := cm.PerTxProb(k), base.PerTxProb(k); got != want {
+			t.Fatalf("PerTxProb(%d) = %v, want %v (bit-identical)", k, got, want)
+		}
+	}
+	foreign := [6]int32{0, 3, 0, 0, 7, 0}
+	for k := 1; k <= 10; k++ {
+		for sfIdx := 0; sfIdx < 6; sfIdx++ {
+			got := cm.PerTxProbForeign(k, sfIdx, &foreign)
+			want := base.PerTxProb(k + int(foreign[sfIdx]))
+			if got != want {
+				t.Fatalf("PerTxProbForeign(%d, %d) = %v, want %v", k, sfIdx, got, want)
+			}
+		}
+	}
+}
+
+// TestCaptureModelShape pins the margin>0 physics qualitatively: capture
+// rescues collisions toward the collision-free probability (never past it),
+// more same-SF contention or cross-SF interference only hurts, and every
+// probability stays in [0,1].
+func TestCaptureModelShape(t *testing.T) {
+	cm := New(mac.AlohaReceiver{}, 6)
+	var none [6]int32
+	if p := cm.PerTxProbForeign(1, 0, &none); p != 1 {
+		t.Fatalf("lone transmission: %v, want 1", p)
+	}
+	// ALOHA says two transmitters always collide; capture gives the
+	// stronger one a real chance.
+	p2 := cm.PerTxProbForeign(2, 0, &none)
+	if p2 <= 0 || p2 >= 1 {
+		t.Fatalf("two-transmitter capture probability %v outside (0,1)", p2)
+	}
+	prev := p2
+	for k := 3; k <= 8; k++ {
+		p := cm.PerTxProbForeign(k, 0, &none)
+		if p > prev {
+			t.Fatalf("capture probability rose with contention: k=%d %v > %v", k, p, prev)
+		}
+		prev = p
+	}
+	// Cross-SF interference multiplies in survival < 1 per interferer.
+	one := [6]int32{0, 0, 0, 0, 0, 4}
+	pClean := cm.PerTxProbForeign(1, 0, &none)
+	pNoisy := cm.PerTxProbForeign(1, 0, &one)
+	if !(pNoisy < pClean) || pNoisy < 0 {
+		t.Fatalf("cross-SF interference did not degrade: clean %v noisy %v", pClean, pNoisy)
+	}
+	// The home SF index's own foreign count joins contention instead.
+	same := [6]int32{2, 0, 0, 0, 0, 0}
+	if got, want := cm.PerTxProbForeign(1, 0, &same), cm.PerTxProbForeign(3, 0, &none); got != want {
+		t.Fatalf("same-SF foreign frames should join contention: %v vs %v", got, want)
+	}
+	if q := qfunc(0); math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("Q(0) = %v, want 0.5", q)
+	}
+}
+
+// TestEngineTransparencyWithCapture is the satellite equivalence test end
+// to end: a zero-node foreign network and a zero-margin capture model
+// through the real engine must reproduce today's single-network metrics
+// bit-identically, on both drivers.
+func TestEngineTransparencyWithCapture(t *testing.T) {
+	base := mac.ModelReceiver{Success: sim.AnalyticChoirTable(30, 0.95, 14), MaxConcurrent: 30}
+	cfg := engine.Config{
+		Scheme:         mac.SchemeChoir,
+		Nodes:          400,
+		Gateways:       2,
+		Slots:          300,
+		ArrivalPerSlot: 0.1,
+		PayloadLen:     12,
+		Receiver:       base,
+		Seed:           31,
+	}
+	for _, driver := range []engine.Driver{engine.DriverEvent, engine.DriverSlot} {
+		cfg.Driver = driver
+		want, err := engine.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped := cfg
+		wrapped.Receiver = New(base, 0)
+		wrapped.Foreign = []engine.ForeignConfig{{Nodes: 0, ArrivalPerSlot: 0.5}}
+		got, err := engine.Run(context.Background(), wrapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("driver %v: zero-margin capture + zero-node foreign not transparent:\nwant %+v\ngot  %+v", driver, want, got)
+		}
+	}
+}
+
+// goldenSweepConfig is the exact configuration the CI sweep job runs via
+// `choir-sim -exp interfere -nodes 200,500 -slots 300 -arrival 0.01
+// -foreign-networks 1 -foreign-nodes 200 -foreign-arrival 0.01
+// -capture-margin 6 -seed 7`; the committed golden table pins its output.
+func goldenSweepConfig() SweepConfig {
+	return SweepConfig{
+		Base: engine.Config{
+			Gateways:       1,
+			Slots:          300,
+			ArrivalPerSlot: 0.01,
+			Foreign:        []engine.ForeignConfig{{Nodes: 200, ArrivalPerSlot: 0.01}},
+			Seed:           7,
+		},
+		Densities: []int{200, 500},
+		MarginDB:  6,
+	}
+}
+
+// TestSweepGolden renders the CI sweep configuration and diffs it against
+// the committed golden table (refresh with -update). Anything that shifts
+// the sweep — receiver math, ADR choices, foreign draws, table formatting —
+// shows up as a diff here before it shows up as a red CI sweep job.
+func TestSweepGolden(t *testing.T) {
+	s, err := RunSweep(context.Background(), goldenSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	Fprint(&buf, s)
+	path := filepath.Join("testdata", "golden_sweep.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sim/interfere -run TestSweepGolden -update` to create it)", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("sweep table drifted from golden (rerun with -update if intentional):\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestSweepDriverAndShardInvariance pins the acceptance criterion directly:
+// the interfere sweep table is identical for workers 1 vs 8, shards 1 vs 8,
+// and the event vs slot drivers.
+func TestSweepDriverAndShardInvariance(t *testing.T) {
+	cfg := goldenSweepConfig()
+	cfg.Densities = []int{150}
+	render := func(mut func(*SweepConfig)) string {
+		c := cfg
+		mut(&c)
+		s, err := RunSweep(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		Fprint(&buf, s)
+		return buf.String()
+	}
+	want := render(func(c *SweepConfig) { c.Base.Shards = 1; c.Base.Workers = 1 })
+	for name, mut := range map[string]func(*SweepConfig){
+		"w8":   func(c *SweepConfig) { c.Base.Shards = 1; c.Base.Workers = 8 },
+		"s8":   func(c *SweepConfig) { c.Base.Shards = 8; c.Base.Workers = 8 },
+		"slot": func(c *SweepConfig) { c.Base.Driver = engine.DriverSlot },
+	} {
+		if got := render(mut); got != want {
+			t.Errorf("%s: sweep table diverged:\n%s\nvs\n%s", name, got, want)
+		}
+	}
+}
+
+// TestSweepVariantsAndFigure pins the matrix shape: one Choir column plus
+// one per ADR policy, and a figure series per variant.
+func TestSweepVariantsAndFigure(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 1+len(engine.ADRPolicies()) {
+		t.Fatalf("variant matrix has %d columns: %+v", len(vs), vs)
+	}
+	if vs[0].Name != "choir" || vs[0].Scheme != mac.SchemeChoir {
+		t.Fatalf("first variant should be choir: %+v", vs[0])
+	}
+	seen := map[string]bool{}
+	for _, v := range vs[1:] {
+		if v.Scheme != mac.SchemeAloha {
+			t.Errorf("ADR variant %q not on ALOHA", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, want := range []string{"adr-snr", "adr-sf12", "adr-distance", "adr-power"} {
+		if !seen[want] {
+			t.Errorf("missing variant %q in %+v", want, vs)
+		}
+	}
+	cfg := goldenSweepConfig()
+	cfg.Densities = []int{100}
+	cfg.Base.Slots = 100
+	s, err := RunSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := Figure(s)
+	if len(fig.Series) != len(vs) || len(fig.Series[0].X) != 1 {
+		t.Fatalf("figure shape: %+v", fig)
+	}
+	if _, err := RunSweep(context.Background(), SweepConfig{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
